@@ -1,0 +1,88 @@
+//===- bench/BenchCommon.hpp - Shared figure/table reproduction helpers ----===//
+//
+// Every binary in bench/ regenerates one table or figure from the paper's
+// evaluation (Section V). Shapes — who wins, by roughly what factor — are
+// the reproduction target; absolute numbers come from the virtual GPU's
+// cost model, not an A100 (see EXPERIMENTS.md).
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/AppCommon.hpp"
+#include "support/Table.hpp"
+
+namespace codesign::bench {
+
+using apps::AppRunResult;
+using apps::BuildConfig;
+
+/// Print the standard figure banner.
+inline void banner(const char *Figure, const char *Description) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s — %s\n", Figure, Description);
+  std::printf("(virtual-GPU cycles; shapes reproduce the paper, absolute "
+              "numbers do not)\n");
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+/// Run one app under the paper build configurations.
+template <typename App>
+std::vector<AppRunResult> runConfigs(App &A, bool IncludeAssumed = true) {
+  std::vector<AppRunResult> Out;
+  for (const BuildConfig &B : apps::paperBuildConfigs(IncludeAssumed)) {
+    Out.push_back(A.run(B));
+    if (!Out.back().Ok)
+      std::fprintf(stderr, "  [%s] FAILED: %s\n", B.Name.c_str(),
+                   Out.back().Error.c_str());
+    else if (!Out.back().Verified)
+      std::fprintf(stderr, "  [%s] WRONG RESULTS\n", B.Name.c_str());
+  }
+  return Out;
+}
+
+/// Figure 10-style relative performance: baseline cycles / config cycles
+/// (1.0 = Old RT nightly, the paper's reference).
+inline double relativePerf(const std::vector<AppRunResult> &R,
+                           const AppRunResult &Config) {
+  const double Base = static_cast<double>(R.front().Metrics.KernelCycles);
+  if (!Config.Ok || Config.Metrics.KernelCycles == 0)
+    return 0.0;
+  return Base / static_cast<double>(Config.Metrics.KernelCycles);
+}
+
+/// Render one app's Figure-11 rows into the table.
+inline void addFig11Rows(Table &T, const char *AppName,
+                         const std::vector<AppRunResult> &Results,
+                         const char *CudaNote = nullptr) {
+  for (const AppRunResult &R : Results) {
+    T.startRow();
+    T.cell(std::string(AppName));
+    T.cell(R.Build);
+    if (!R.Ok) {
+      T.cell("n/a");
+      T.cell("n/a");
+      T.cell("n/a");
+      T.cell(R.Error.substr(0, 32));
+      continue;
+    }
+    if (CudaNote && R.Build == "CUDA") {
+      T.cell("n/a");
+      T.cell("n/a");
+      T.cell("n/a");
+      T.cell(std::string(CudaNote));
+      continue;
+    }
+    T.cell(static_cast<std::uint64_t>(R.Metrics.KernelCycles));
+    T.cell(static_cast<std::uint64_t>(R.Stats.Registers));
+    T.cell(formatBytes(R.Stats.SharedMemBytes));
+    T.cell(R.Verified ? "ok" : "WRONG RESULTS");
+  }
+}
+
+} // namespace codesign::bench

@@ -1,0 +1,77 @@
+//===- bench/fig11_resources.cpp - Paper Figure 11 --------------------------===//
+//
+// "GPU kernel execution times (highest), shared memory and register usage"
+// for every application and build configuration. Expected shapes:
+//   * Old RT: constant 2336 B static shared memory, elevated registers.
+//   * New RT (Nightly): MORE shared memory than the old runtime (team
+//     state + thread states + shared stack, ~10 KB) — the paper's 11304 B.
+//   * New RT (optimized): 0 B shared memory for XSBench/RSBench/GridMini/
+//     MiniFMM, ~3 KB for TestSNAP (the legitimate scratch), and reduced
+//     register counts.
+//   * CUDA: minimal resources; n/a for TestSNAP (Kokkos).
+//
+//===----------------------------------------------------------------------===//
+#include "BenchCommon.hpp"
+
+#include "apps/GridMini.hpp"
+#include "apps/MiniFMM.hpp"
+#include "apps/RSBench.hpp"
+#include "apps/TestSNAP.hpp"
+#include "apps/XSBench.hpp"
+
+#include <iostream>
+
+using namespace codesign;
+using namespace codesign::bench;
+
+int main() {
+  banner("Figure 11", "kernel time, registers and static shared memory");
+  Table T({"App", "Build", "Kernel cycles", "# Regs", "SMem", "Check"});
+
+  {
+    vgpu::VirtualGPU GPU;
+    apps::XSBenchConfig Cfg;
+    Cfg.NLookups = 4096;
+    Cfg.Teams = 32;
+    Cfg.Threads = 128;
+    apps::XSBench App(GPU, Cfg);
+    addFig11Rows(T, "XSBench", runConfigs(App));
+  }
+  {
+    vgpu::VirtualGPU GPU;
+    apps::RSBenchConfig Cfg;
+    Cfg.NLookups = 64 * 64 * 4;
+    Cfg.Teams = 64;
+    Cfg.Threads = 64;
+    apps::RSBench App(GPU, Cfg);
+    addFig11Rows(T, "RSBench", runConfigs(App, /*IncludeAssumed=*/false));
+  }
+  {
+    vgpu::VirtualGPU GPU;
+    apps::GridMiniConfig Cfg;
+    Cfg.Volume = 4096;
+    Cfg.Teams = 32;
+    Cfg.Threads = 128;
+    apps::GridMini App(GPU, Cfg);
+    addFig11Rows(T, "GridMini", runConfigs(App));
+  }
+  {
+    vgpu::VirtualGPU GPU;
+    apps::TestSNAPConfig Cfg;
+    Cfg.NAtoms = 128;
+    Cfg.Teams = 64;
+    apps::TestSNAP App(GPU, Cfg);
+    addFig11Rows(T, "TestSNAP", runConfigs(App),
+                 "n/a (Kokkos; paper Section V-A)");
+  }
+  {
+    vgpu::VirtualGPU GPU;
+    apps::MiniFMMConfig Cfg;
+    Cfg.Teams = 32;
+    apps::MiniFMM App(GPU, Cfg);
+    addFig11Rows(T, "MiniFMM", runConfigs(App));
+  }
+
+  T.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,107 @@
+//===- bench/micro_pipeline.cpp - Compiler/interpreter microbenchmarks ------===//
+//
+// google-benchmark microbenchmarks of the toolchain itself: how long the
+// openmp-opt pipeline takes per kernel, how fast the virtual GPU interprets
+// optimized vs unoptimized code, and the cost of the runtime link step.
+// These guard against toolchain regressions; the figure benches measure
+// the *modeled* GPU cycles instead.
+//
+//===----------------------------------------------------------------------===//
+#include <benchmark/benchmark.h>
+
+#include "frontend/Driver.hpp"
+#include "frontend/TargetCompiler.hpp"
+#include "vgpu/VirtualGPU.hpp"
+
+namespace {
+
+using namespace codesign;
+using namespace codesign::frontend;
+
+KernelSpec saxpySpec(std::int64_t BodyId) {
+  KernelSpec Spec;
+  Spec.Name = "micro_kernel";
+  Spec.Params = {{ir::Type::ptr(), "y"}, {ir::Type::i64(), "n"}};
+  NativeBody Body;
+  Body.NativeId = BodyId;
+  Body.Args = {BodyArg::iter(), BodyArg::arg(0)};
+  Spec.Stmts = {Stmt::distributeParallelFor(TripCount::argument(1), Body)};
+  return Spec;
+}
+
+std::int64_t registerBody(vgpu::VirtualGPU &GPU) {
+  return GPU.registry().add(vgpu::NativeOpInfo{
+      "micro_body",
+      [](vgpu::NativeCtx &Ctx) {
+        const std::int64_t I = Ctx.argI64(0);
+        Ctx.storeF64(Ctx.argPtr(1).advance(I * 8), static_cast<double>(I));
+        Ctx.chargeCycles(2);
+      },
+      4});
+}
+
+void BM_CodegenAndLink(benchmark::State &State) {
+  vgpu::VirtualGPU GPU;
+  const std::int64_t BodyId = registerBody(GPU);
+  for (auto _ : State) {
+    auto CG = emitKernel(saxpySpec(BodyId), CodegenOptions{});
+    benchmark::DoNotOptimize(CG.hasValue());
+    auto Linked = linkRuntime(*CG->AppModule, RuntimeKind::NewRT);
+    benchmark::DoNotOptimize(Linked.hasValue());
+  }
+}
+BENCHMARK(BM_CodegenAndLink);
+
+void BM_FullOptPipeline(benchmark::State &State) {
+  vgpu::VirtualGPU GPU;
+  const std::int64_t BodyId = registerBody(GPU);
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto CG = emitKernel(saxpySpec(BodyId), CodegenOptions{});
+    (void)linkRuntime(*CG->AppModule, RuntimeKind::NewRT);
+    State.ResumeTiming();
+    opt::runPipeline(*CG->AppModule, opt::OptOptions{});
+    benchmark::DoNotOptimize(CG->AppModule->instructionCount());
+  }
+}
+BENCHMARK(BM_FullOptPipeline);
+
+void BM_InterpreterOptimized(benchmark::State &State) {
+  vgpu::VirtualGPU GPU;
+  const std::int64_t BodyId = registerBody(GPU);
+  auto CK = compileKernel(saxpySpec(BodyId),
+                          CompileOptions::newRTNoAssumptions(),
+                          GPU.registry());
+  auto Image = GPU.loadImage(*CK->M);
+  constexpr std::uint64_t N = 4096;
+  vgpu::DeviceAddr Buf = GPU.allocate(N * 8);
+  std::uint64_t Args[] = {Buf.Bits, N};
+  for (auto _ : State) {
+    auto R = GPU.launch(*Image, CK->Kernel, Args, 8, 64);
+    benchmark::DoNotOptimize(R.Ok);
+  }
+  State.SetItemsProcessed(static_cast<std::int64_t>(State.iterations()) * N);
+}
+BENCHMARK(BM_InterpreterOptimized);
+
+void BM_InterpreterUnoptimized(benchmark::State &State) {
+  vgpu::VirtualGPU GPU;
+  const std::int64_t BodyId = registerBody(GPU);
+  CompileOptions Options = CompileOptions::newRTNoAssumptions();
+  Options.RunOptimizer = false;
+  auto CK = compileKernel(saxpySpec(BodyId), Options, GPU.registry());
+  auto Image = GPU.loadImage(*CK->M);
+  constexpr std::uint64_t N = 4096;
+  vgpu::DeviceAddr Buf = GPU.allocate(N * 8);
+  std::uint64_t Args[] = {Buf.Bits, N};
+  for (auto _ : State) {
+    auto R = GPU.launch(*Image, CK->Kernel, Args, 8, 64);
+    benchmark::DoNotOptimize(R.Ok);
+  }
+  State.SetItemsProcessed(static_cast<std::int64_t>(State.iterations()) * N);
+}
+BENCHMARK(BM_InterpreterUnoptimized);
+
+} // namespace
+
+BENCHMARK_MAIN();

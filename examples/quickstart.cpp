@@ -1,0 +1,116 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library -----------===//
+//
+// Builds a SAXPY "target teams distribute parallel for" kernel, compiles it
+// under the co-designed runtime with full optimization, runs it on the
+// virtual GPU through the host runtime, and prints what the optimizer did:
+// runtime state eliminated, barriers gone, near-native cycle counts.
+//
+// Run:  ./quickstart
+//
+//===----------------------------------------------------------------------===//
+#include <cstdio>
+#include <vector>
+
+#include "frontend/TargetCompiler.hpp"
+#include "host/HostRuntime.hpp"
+#include "ir/Printer.hpp"
+#include "vgpu/VirtualGPU.hpp"
+
+using namespace codesign;
+using namespace codesign::frontend;
+
+int main() {
+  // 1. A virtual GPU (the device) and the SAXPY element body. The body is
+  //    a registered native operation: y[i] = a*x[i] + y[i]. All memory it
+  //    touches is charged to the device cost model.
+  vgpu::VirtualGPU GPU;
+  const std::int64_t SaxpyId = GPU.registry().add(vgpu::NativeOpInfo{
+      "saxpy_element",
+      [](vgpu::NativeCtx &Ctx) {
+        const std::int64_t I = Ctx.argI64(0);
+        const vgpu::DeviceAddr X = Ctx.argPtr(1), Y = Ctx.argPtr(2);
+        const double A = Ctx.argF64(3);
+        Ctx.storeF64(Y.advance(I * 8),
+                     A * Ctx.loadF64(X.advance(I * 8)) +
+                         Ctx.loadF64(Y.advance(I * 8)));
+        Ctx.chargeCycles(6);
+      },
+      /*ExtraRegisters=*/6});
+
+  // 2. The kernel, at OpenMP directive level:
+  //      #pragma omp target teams distribute parallel for
+  //      for (i = 0; i < n; ++i) y[i] = a*x[i] + y[i];
+  KernelSpec Spec;
+  Spec.Name = "saxpy";
+  Spec.Params = {{ir::Type::ptr(), "x"},
+                 {ir::Type::ptr(), "y"},
+                 {ir::Type::f64(), "a"},
+                 {ir::Type::i64(), "n"}};
+  NativeBody Body;
+  Body.NativeId = SaxpyId;
+  Body.Args = {BodyArg::iter(), BodyArg::arg(0), BodyArg::arg(1),
+               BodyArg::arg(2)};
+  Spec.Stmts = {Stmt::distributeParallelFor(TripCount::argument(3), Body)};
+
+  // 3. Compile: lower to IR, link the device runtime "bitcode", run the
+  //    openmp-opt pipeline.
+  auto Compiled =
+      compileKernel(Spec, CompileOptions::newRTNoAssumptions(),
+                    GPU.registry());
+  if (!Compiled) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 Compiled.error().message().c_str());
+    return 1;
+  }
+  std::printf("Optimized kernel (note: no runtime calls, no barriers, no "
+              "shared state left):\n%s\n",
+              ir::printFunction(*Compiled->Kernel).c_str());
+  std::printf("Static resources: %u registers, %llu B shared memory\n\n",
+              Compiled->Stats.Registers,
+              static_cast<unsigned long long>(
+                  Compiled->Stats.SharedMemBytes));
+
+  // 4. Host side: map data (like `omp target enter data map(to: ...)`),
+  //    launch, copy back.
+  host::HostRuntime Host(GPU);
+  Host.registerImage(*Compiled->M);
+  constexpr std::uint64_t N = 1 << 14;
+  std::vector<double> X(N), Y(N);
+  for (std::uint64_t I = 0; I < N; ++I) {
+    X[I] = static_cast<double>(I);
+    Y[I] = 1.0;
+  }
+  if (!Host.enterData(X.data(), N * 8) || !Host.enterData(Y.data(), N * 8)) {
+    std::fprintf(stderr, "mapping failed\n");
+    return 1;
+  }
+  const host::KernelArg Args[] = {
+      host::KernelArg::mapped(X.data()), host::KernelArg::mapped(Y.data()),
+      host::KernelArg::f64(2.0),
+      host::KernelArg::i64(static_cast<std::int64_t>(N))};
+  auto Result = Host.launch("saxpy", Args, /*Teams=*/64, /*Threads=*/256);
+  if (!Result || !Result->Ok) {
+    std::fprintf(stderr, "launch failed: %s\n",
+                 Result ? Result->Error.c_str()
+                        : Result.error().message().c_str());
+    return 1;
+  }
+  (void)Host.updateFrom(Y.data());
+
+  // 5. Verify and report.
+  for (std::uint64_t I = 0; I < N; ++I)
+    if (Y[I] != 2.0 * static_cast<double>(I) + 1.0) {
+      std::fprintf(stderr, "WRONG RESULT at %llu\n",
+                   static_cast<unsigned long long>(I));
+      return 1;
+    }
+  std::printf("saxpy over %llu elements: OK\n",
+              static_cast<unsigned long long>(N));
+  std::printf("kernel time: %llu cycles, %llu global loads, %llu barriers, "
+              "occupancy %u teams/SM\n",
+              static_cast<unsigned long long>(Result->Metrics.KernelCycles),
+              static_cast<unsigned long long>(Result->Metrics.GlobalLoads),
+              static_cast<unsigned long long>(Result->Metrics.Barriers),
+              Result->Metrics.TeamsPerSM);
+  return 0;
+}

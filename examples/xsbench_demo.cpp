@@ -1,0 +1,62 @@
+//===- examples/xsbench_demo.cpp - A full proxy app, five ways --------------===//
+//
+// Runs the XSBench port (Monte Carlo macroscopic cross-section lookup,
+// paper Section V-A) under all five build configurations and prints the
+// comparison the paper's Figures 10a/11 make: the legacy runtime pays for
+// state it never uses; the co-designed runtime plus openmp-opt reach
+// near-CUDA performance with zero static shared memory.
+//
+// Run:  ./xsbench_demo
+//
+//===----------------------------------------------------------------------===//
+#include <cstdio>
+
+#include "apps/XSBench.hpp"
+#include "support/Table.hpp"
+
+using namespace codesign;
+
+int main() {
+  vgpu::VirtualGPU GPU;
+  apps::XSBenchConfig Cfg;
+  Cfg.NLookups = 8192;
+  Cfg.Teams = 64;
+  Cfg.Threads = 128;
+  apps::XSBench App(GPU, Cfg);
+
+  std::printf("XSBench: %llu cross-section lookups, %u teams x %u threads\n\n",
+              static_cast<unsigned long long>(Cfg.NLookups), Cfg.Teams,
+              Cfg.Threads);
+
+  Table T({"Build", "Kernel cycles", "lookups/kcycle", "# Regs", "SMem",
+           "Occupancy", "Verified"});
+  for (const apps::BuildConfig &B : apps::paperBuildConfigs()) {
+    apps::AppRunResult R = App.run(B);
+    T.startRow();
+    T.cell(B.Name);
+    if (!R.Ok) {
+      T.cell("n/a");
+      T.cell("n/a");
+      T.cell("n/a");
+      T.cell("n/a");
+      T.cell("n/a");
+      T.cell(R.Error.substr(0, 40));
+      continue;
+    }
+    T.cell(static_cast<std::uint64_t>(R.Metrics.KernelCycles));
+    T.cell(R.AppMetric, 1);
+    T.cell(static_cast<std::uint64_t>(R.Stats.Registers));
+    T.cell(formatBytes(R.Stats.SharedMemBytes));
+    T.cell(static_cast<std::uint64_t>(R.Metrics.TeamsPerSM));
+    T.cell(R.Verified ? "yes" : "NO");
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Notes:\n"
+              " * 'New RT (Nightly)' carries the full runtime state "
+              "(~12 KB shared memory), capping occupancy.\n"
+              " * The optimized builds eliminate every byte of runtime "
+              "state (SMem 0B) — paper Figure 11.\n"
+              " * The residual gap to CUDA is the by-reference config "
+              "struct (paper Section VII).\n");
+  return 0;
+}

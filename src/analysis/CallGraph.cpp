@@ -1,0 +1,78 @@
+#include "analysis/CallGraph.hpp"
+
+#include <algorithm>
+
+namespace codesign::analysis {
+
+CallGraph::CallGraph(const Module &M) {
+  for (const auto &F : M.functions()) {
+    UnknownCallee[F.get()] = false;
+    // Address taken: any use of the function value that is not the callee
+    // operand of a direct call.
+    bool Taken = false;
+    for (const ir::Use &U : F->asValue()->uses()) {
+      if (U.User->opcode() == ir::Opcode::Call && U.OpIdx == 0)
+        continue;
+      Taken = true;
+      break;
+    }
+    AddressTaken[F.get()] = Taken;
+  }
+
+  for (const auto &F : M.functions()) {
+    std::set<Function *> Seen;
+    for (const auto &BB : F->blocks()) {
+      for (const auto &I : BB->instructions()) {
+        if (I->opcode() != ir::Opcode::Call)
+          continue;
+        if (Function *Callee = I->calledFunction()) {
+          if (Seen.insert(Callee).second) {
+            Callees[F.get()].push_back(Callee);
+            Callers[Callee].push_back(F.get());
+          }
+        } else {
+          UnknownCallee[F.get()] = true;
+        }
+      }
+    }
+  }
+
+  // Reachability from kernels (+ address-taken roots).
+  std::vector<Function *> Work;
+  for (const auto &F : M.functions())
+    if (F->hasAttr(ir::FnAttr::Kernel) || AddressTaken[F.get()])
+      Work.push_back(F.get());
+  while (!Work.empty()) {
+    Function *F = Work.back();
+    Work.pop_back();
+    if (!Reachable.insert(F).second)
+      continue;
+    auto It = Callees.find(F);
+    if (It != Callees.end())
+      for (Function *C : It->second)
+        Work.push_back(C);
+  }
+}
+
+const std::vector<Function *> &CallGraph::callees(const Function *F) const {
+  auto It = Callees.find(F);
+  return It == Callees.end() ? Empty : It->second;
+}
+
+const std::vector<Function *> &CallGraph::callers(const Function *F) const {
+  auto It = Callers.find(F);
+  return It == Callers.end() ? Empty : It->second;
+}
+
+bool CallGraph::hasUnknownCallee(const Function *F) const {
+  auto It = UnknownCallee.find(F);
+  return It != UnknownCallee.end() && It->second;
+}
+
+bool CallGraph::hasUnknownCallers(const Function *F) const {
+  auto It = AddressTaken.find(F);
+  return (It != AddressTaken.end() && It->second) ||
+         !F->hasAttr(ir::FnAttr::Internal);
+}
+
+} // namespace codesign::analysis

@@ -1,0 +1,49 @@
+//===- analysis/CallGraph.hpp - Direct call graph ---------------------------===//
+#pragma once
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/Module.hpp"
+
+namespace codesign::analysis {
+
+using ir::Function;
+using ir::Instruction;
+using ir::Module;
+
+/// Direct-call graph over a module. Indirect calls are recorded as "unknown
+/// callee" flags on the caller (the paper's analyses must account for
+/// unknown callers/callees; so do ours).
+class CallGraph {
+public:
+  explicit CallGraph(const Module &M);
+
+  /// Functions directly called by F (deduplicated, deterministic order).
+  [[nodiscard]] const std::vector<Function *> &callees(const Function *F) const;
+  /// Functions that directly call F.
+  [[nodiscard]] const std::vector<Function *> &callers(const Function *F) const;
+  /// True when F contains at least one indirect call.
+  [[nodiscard]] bool hasUnknownCallee(const Function *F) const;
+  /// True when F's address is taken (stored / passed), so it may be called
+  /// indirectly from anywhere.
+  [[nodiscard]] bool hasUnknownCallers(const Function *F) const;
+
+  /// Functions reachable from any kernel via direct calls; address-taken
+  /// functions are also treated as reachable roots (they may be invoked
+  /// through the state machine's work-function pointer).
+  [[nodiscard]] const std::set<Function *> &reachableFromKernels() const {
+    return Reachable;
+  }
+
+private:
+  std::unordered_map<const Function *, std::vector<Function *>> Callees;
+  std::unordered_map<const Function *, std::vector<Function *>> Callers;
+  std::unordered_map<const Function *, bool> UnknownCallee;
+  std::unordered_map<const Function *, bool> AddressTaken;
+  std::set<Function *> Reachable;
+  std::vector<Function *> Empty;
+};
+
+} // namespace codesign::analysis

@@ -1,0 +1,108 @@
+#include "analysis/Dominators.hpp"
+
+#include <algorithm>
+
+namespace codesign::analysis {
+
+DominatorTree::DominatorTree(const Function &F) : F(F) {
+  CODESIGN_ASSERT(!F.isDeclaration(), "dominator tree over a declaration");
+
+  // Depth-first postorder, then reverse.
+  std::vector<const BasicBlock *> PostOrder;
+  std::unordered_map<const BasicBlock *, int> State; // 0 new, 1 open, 2 done
+  std::vector<std::pair<const BasicBlock *, std::size_t>> Stack;
+  Stack.emplace_back(F.entry(), 0);
+  State[F.entry()] = 1;
+  while (!Stack.empty()) {
+    auto &[BB, NextSucc] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (NextSucc < Succs.size()) {
+      const BasicBlock *S = Succs[NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+    } else {
+      State[BB] = 2;
+      PostOrder.push_back(BB);
+      Stack.pop_back();
+    }
+  }
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (std::size_t I = 0; I < RPO.size(); ++I)
+    RPOIndex[RPO[I]] = static_cast<int>(I);
+
+  // Cooper-Harvey-Kennedy iteration.
+  IDom.assign(RPO.size(), -1);
+  if (RPO.empty())
+    return;
+  IDom[0] = 0; // entry's idom is itself during iteration
+  bool Changed = true;
+  auto intersect = [&](int A, int B) {
+    while (A != B) {
+      while (A > B)
+        A = IDom[static_cast<std::size_t>(A)];
+      while (B > A)
+        B = IDom[static_cast<std::size_t>(B)];
+    }
+    return A;
+  };
+  while (Changed) {
+    Changed = false;
+    for (std::size_t I = 1; I < RPO.size(); ++I) {
+      int NewIDom = -1;
+      for (const BasicBlock *P : RPO[I]->predecessors()) {
+        auto It = RPOIndex.find(P);
+        if (It == RPOIndex.end())
+          continue; // unreachable predecessor
+        const int PI = It->second;
+        if (IDom[static_cast<std::size_t>(PI)] == -1 && PI != 0)
+          continue; // not yet processed
+        NewIDom = (NewIDom == -1) ? PI : intersect(NewIDom, PI);
+      }
+      if (NewIDom != -1 && IDom[I] != NewIDom) {
+        IDom[I] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+  IDom[0] = -1; // restore: entry has no idom
+}
+
+int DominatorTree::indexOf(const BasicBlock *BB) const {
+  auto It = RPOIndex.find(BB);
+  return It == RPOIndex.end() ? -1 : It->second;
+}
+
+bool DominatorTree::isReachable(const BasicBlock *BB) const {
+  return indexOf(BB) >= 0;
+}
+
+const BasicBlock *DominatorTree::idom(const BasicBlock *BB) const {
+  const int I = indexOf(BB);
+  if (I <= 0)
+    return nullptr;
+  const int D = IDom[static_cast<std::size_t>(I)];
+  return D < 0 ? nullptr : RPO[static_cast<std::size_t>(D)];
+}
+
+bool DominatorTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  int AI = indexOf(A), BI = indexOf(B);
+  if (AI < 0 || BI < 0)
+    return false;
+  while (BI > AI)
+    BI = IDom[static_cast<std::size_t>(BI)];
+  return BI == AI;
+}
+
+bool DominatorTree::dominates(const Instruction *A,
+                              const Instruction *B) const {
+  const BasicBlock *ABB = A->parent();
+  const BasicBlock *BBB = B->parent();
+  CODESIGN_ASSERT(ABB && BBB, "detached instruction in dominance query");
+  if (ABB == BBB)
+    return ABB->indexOf(A) < BBB->indexOf(B);
+  return dominates(ABB, BBB);
+}
+
+} // namespace codesign::analysis

@@ -1,0 +1,62 @@
+//===- analysis/Dominators.hpp - Dominator tree ----------------------------===//
+//
+// Dominance is the backbone of the paper's Section IV-B2 ("Lifetime-Aware
+// Reachability and Dominance Analysis"): a store that dominates a load with
+// no interfering accesses or synchronization in between determines the
+// loaded value. We compute dominators with the Cooper/Harvey/Kennedy
+// iterative algorithm over a reverse-postorder numbering.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/Function.hpp"
+
+namespace codesign::analysis {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+
+/// Immediate-dominator tree for one function. Unreachable blocks have no
+/// dominator information and dominate nothing.
+class DominatorTree {
+public:
+  /// Build for F. F must have an entry block.
+  explicit DominatorTree(const Function &F);
+
+  /// The function this tree was built for.
+  [[nodiscard]] const Function &function() const { return F; }
+
+  /// True when block A dominates block B (reflexive).
+  [[nodiscard]] bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// True when instruction A dominates instruction B: block dominance, or
+  /// earlier position within the same block. Not reflexive at the
+  /// instruction level (an instruction does not dominate itself).
+  [[nodiscard]] bool dominates(const Instruction *A,
+                               const Instruction *B) const;
+
+  /// Immediate dominator of BB (null for the entry and unreachable blocks).
+  [[nodiscard]] const BasicBlock *idom(const BasicBlock *BB) const;
+
+  /// True when BB is reachable from the entry.
+  [[nodiscard]] bool isReachable(const BasicBlock *BB) const;
+
+  /// Blocks in reverse postorder (reachable blocks only).
+  [[nodiscard]] const std::vector<const BasicBlock *> &rpo() const {
+    return RPO;
+  }
+
+private:
+  [[nodiscard]] int indexOf(const BasicBlock *BB) const;
+
+  const Function &F;
+  std::vector<const BasicBlock *> RPO;
+  std::unordered_map<const BasicBlock *, int> RPOIndex;
+  std::vector<int> IDom; // indexed by RPO position; -1 for entry
+};
+
+} // namespace codesign::analysis

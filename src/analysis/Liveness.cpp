@@ -1,0 +1,105 @@
+#include "analysis/Liveness.hpp"
+
+#include <algorithm>
+
+namespace codesign::analysis {
+
+namespace {
+
+/// A value is register-allocated when it produces a result consumed via SSA.
+bool isTracked(const Value *V) {
+  return V && (V->kind() == ir::ValueKind::Instruction ||
+               V->kind() == ir::ValueKind::Argument);
+}
+
+} // namespace
+
+Liveness::Liveness(const Function &F) : F(F) {
+  CODESIGN_ASSERT(!F.isDeclaration(), "liveness over a declaration");
+  // Iterate to a fixed point (sets only grow).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Visit blocks in reverse layout order for faster convergence.
+    const auto &Blocks = F.blocks();
+    for (auto It = Blocks.rbegin(); It != Blocks.rend(); ++It) {
+      const BasicBlock *BB = It->get();
+      auto &Out = LiveOutMap[BB];
+      // liveOut = union over successors of (liveIn minus their phi defs,
+      // plus their phi incomings for this block).
+      std::unordered_set<const Value *> NewOut;
+      for (const BasicBlock *S : BB->successors()) {
+        for (const Value *V : LiveInMap[S])
+          NewOut.insert(V);
+        for (std::size_t I = 0; I < S->size(); ++I) {
+          const Instruction *Phi = S->inst(I);
+          if (Phi->opcode() != ir::Opcode::Phi)
+            break;
+          NewOut.erase(Phi);
+          if (const Value *In = Phi->incomingFor(BB))
+            if (isTracked(In))
+              NewOut.insert(In);
+        }
+      }
+      // Remove values defined by phis of successors already handled above;
+      // now walk backwards through the block.
+      std::unordered_set<const Value *> Live = NewOut;
+      for (std::size_t I = BB->size(); I-- > 0;) {
+        const Instruction *Inst = BB->inst(I);
+        if (!Inst->type().isVoid())
+          Live.erase(Inst);
+        if (Inst->opcode() == ir::Opcode::Phi)
+          continue; // phi operands are live-out of predecessors, not here
+        for (unsigned Op = 0; Op < Inst->numOperands(); ++Op)
+          if (isTracked(Inst->operand(Op)))
+            Live.insert(Inst->operand(Op));
+      }
+      auto &In = LiveInMap[BB];
+      if (NewOut.size() != Out.size() || Live.size() != In.size() ||
+          NewOut != Out || Live != In) {
+        Out = std::move(NewOut);
+        In = std::move(Live);
+        Changed = true;
+      }
+    }
+  }
+
+  // Compute the peak: walk each block backwards tracking the live set size.
+  for (const auto &BBPtr : F.blocks()) {
+    const BasicBlock *BB = BBPtr.get();
+    std::unordered_set<const Value *> Live = LiveOutMap[BB];
+    MaxLive = std::max(MaxLive, static_cast<unsigned>(Live.size()));
+    for (std::size_t I = BB->size(); I-- > 0;) {
+      const Instruction *Inst = BB->inst(I);
+      if (!Inst->type().isVoid())
+        Live.erase(Inst);
+      if (Inst->opcode() != ir::Opcode::Phi)
+        for (unsigned Op = 0; Op < Inst->numOperands(); ++Op)
+          if (isTracked(Inst->operand(Op)))
+            Live.insert(Inst->operand(Op));
+      MaxLive = std::max(MaxLive, static_cast<unsigned>(Live.size()));
+    }
+  }
+}
+
+const std::unordered_set<const Value *> &
+Liveness::liveIn(const BasicBlock *BB) const {
+  auto It = LiveInMap.find(BB);
+  CODESIGN_ASSERT(It != LiveInMap.end(), "block not analyzed");
+  return It->second;
+}
+
+const std::unordered_set<const Value *> &
+Liveness::liveOut(const BasicBlock *BB) const {
+  auto It = LiveOutMap.find(BB);
+  CODESIGN_ASSERT(It != LiveOutMap.end(), "block not analyzed");
+  return It->second;
+}
+
+unsigned estimateRegisters(const Function &Kernel) {
+  constexpr unsigned BaseRegisters = 8;
+  Liveness L(Kernel);
+  return BaseRegisters + L.maxLive();
+}
+
+} // namespace codesign::analysis

@@ -1,0 +1,61 @@
+#include "analysis/Reachability.hpp"
+
+namespace codesign::analysis {
+
+Reachability::Reachability(const Function &F) : F(F) {
+  const auto &Blocks = F.blocks();
+  const std::size_t N = Blocks.size();
+  for (std::size_t I = 0; I < N; ++I)
+    Index[Blocks[I].get()] = static_cast<int>(I);
+  Reach.assign(N, std::vector<bool>(N, false));
+  // BFS from each block over successor edges.
+  for (std::size_t Start = 0; Start < N; ++Start) {
+    std::vector<const BasicBlock *> Work;
+    for (BasicBlock *S : Blocks[Start]->successors())
+      Work.push_back(S);
+    while (!Work.empty()) {
+      const BasicBlock *BB = Work.back();
+      Work.pop_back();
+      const int BI = Index.at(BB);
+      if (Reach[Start][static_cast<std::size_t>(BI)])
+        continue;
+      Reach[Start][static_cast<std::size_t>(BI)] = true;
+      for (BasicBlock *S : BB->successors())
+        Work.push_back(S);
+    }
+  }
+}
+
+int Reachability::indexOf(const BasicBlock *BB) const {
+  auto It = Index.find(BB);
+  CODESIGN_ASSERT(It != Index.end(), "block not in function");
+  return It->second;
+}
+
+bool Reachability::blockCanReach(const BasicBlock *A,
+                                 const BasicBlock *B) const {
+  return Reach[static_cast<std::size_t>(indexOf(A))]
+              [static_cast<std::size_t>(indexOf(B))];
+}
+
+bool Reachability::canReach(const Instruction *A, const Instruction *B) const {
+  const BasicBlock *ABB = A->parent();
+  const BasicBlock *BBB = B->parent();
+  CODESIGN_ASSERT(ABB && BBB, "detached instruction in reachability query");
+  if (ABB == BBB) {
+    if (ABB->indexOf(A) < BBB->indexOf(B))
+      return true;
+    // B earlier (or equal): reachable only by looping back to the block.
+    return blockCanReach(ABB, ABB);
+  }
+  return blockCanReach(ABB, BBB);
+}
+
+bool Reachability::isBetween(const Instruction *A, const Instruction *I,
+                             const Instruction *B) const {
+  if (I == A || I == B)
+    return false;
+  return canReach(A, I) && canReach(I, B);
+}
+
+} // namespace codesign::analysis

@@ -1,0 +1,53 @@
+//===- analysis/Reachability.hpp - CFG reachability ------------------------===//
+//
+// Instruction-level reachability queries used by load forwarding and dead
+// store elimination: "can control flow from A to B?" and "is instruction I
+// on some path strictly between A and B?". The paper's Section IV-B2 uses
+// exactly these deductions ("if a write cannot reach a load it will not
+// affect the loaded value").
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/Function.hpp"
+
+namespace codesign::analysis {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+
+/// Block- and instruction-level reachability for one function.
+/// Precomputes the transitive closure over blocks (functions here are small
+/// post-inlining, so the dense representation is fine).
+class Reachability {
+public:
+  explicit Reachability(const Function &F);
+
+  /// True when control can flow from block A to block B through one or more
+  /// CFG edges (NOT reflexive unless A is on a cycle reaching itself).
+  [[nodiscard]] bool blockCanReach(const BasicBlock *A,
+                                   const BasicBlock *B) const;
+
+  /// True when execution can continue from (just after) A and later execute
+  /// B. Same-block: A before B, or the block lies on a cycle.
+  [[nodiscard]] bool canReach(const Instruction *A,
+                              const Instruction *B) const;
+
+  /// True when I can execute strictly between A and B on some path, i.e.
+  /// canReach(A, I) && canReach(I, B). A and B themselves never count.
+  [[nodiscard]] bool isBetween(const Instruction *A, const Instruction *I,
+                               const Instruction *B) const;
+
+private:
+  [[nodiscard]] int indexOf(const BasicBlock *BB) const;
+
+  const Function &F;
+  std::unordered_map<const BasicBlock *, int> Index;
+  std::vector<std::vector<bool>> Reach; // Reach[a][b]: edge-path a -> b
+};
+
+} // namespace codesign::analysis

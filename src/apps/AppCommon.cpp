@@ -1,0 +1,18 @@
+#include "apps/AppCommon.hpp"
+
+namespace codesign::apps {
+
+std::vector<BuildConfig> paperBuildConfigs(bool IncludeAssumed) {
+  std::vector<BuildConfig> Out = {
+      {"Old RT (Nightly)", frontend::CompileOptions::oldRT()},
+      {"New RT (Nightly)", frontend::CompileOptions::newRTNightly()},
+      {"New RT - w/o Assumptions",
+       frontend::CompileOptions::newRTNoAssumptions()},
+  };
+  if (IncludeAssumed)
+    Out.push_back({"New RT", frontend::CompileOptions::newRT()});
+  Out.push_back({"CUDA", frontend::CompileOptions::cuda()});
+  return Out;
+}
+
+} // namespace codesign::apps

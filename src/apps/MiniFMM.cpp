@@ -1,0 +1,193 @@
+#include "apps/MiniFMM.hpp"
+
+#include <cmath>
+
+namespace codesign::apps {
+
+using frontend::BodyArg;
+using frontend::KernelSpec;
+using frontend::NativeBody;
+using frontend::Stmt;
+using frontend::TripCount;
+using vgpu::DeviceAddr;
+using vgpu::NativeCtx;
+using vgpu::NativeOpInfo;
+
+namespace {
+
+/// P2P kernel both sides share: softened inverse-square interaction.
+double p2p(const double *P) {
+  const double DX = P[0] - P[4], DY = P[1] - P[5], DZ = P[2] - P[6];
+  const double R2 = DX * DX + DY * DY + DZ * DZ + 1e-6;
+  const double Inv = 1.0 / std::sqrt(R2);
+  return P[3] * P[7] * Inv * Inv * Inv * (DX + DY + DZ);
+}
+
+} // namespace
+
+MiniFMM::MiniFMM(vgpu::VirtualGPU &GPU, MiniFMMConfig Cfg)
+    : GPU(GPU), Host(GPU), Cfg(Cfg) {
+  generate();
+  upload();
+
+  // Serial per-team traversal bookkeeping: mark this team's subtree.
+  PrepBodyId = GPU.registry().add(NativeOpInfo{
+      "minifmm_prepare",
+      [](NativeCtx &Ctx) {
+        const DeviceAddr Marks = Ctx.argPtr(0);
+        const std::int32_t Team = Ctx.argI32(1);
+        Ctx.storeF64(Marks.advance(static_cast<std::int64_t>(Team) * 8),
+                     static_cast<double>(Team) + 0.5);
+        Ctx.chargeCycles(200); // traversal bookkeeping
+      },
+      8});
+
+  // P2P interaction: (iv, outPtr, particlesPtr, teamNum).
+  P2PBodyId = GPU.registry().add(NativeOpInfo{
+      "minifmm_p2p",
+      [this](NativeCtx &Ctx) {
+        const std::int64_t Local = Ctx.argI64(0);
+        const std::int32_t Team = Ctx.argI32(3);
+        const std::int64_t Pair =
+            static_cast<std::int64_t>(Team) * this->Cfg.PairsPerTeam + Local;
+        double P[8];
+        const DeviceAddr Src = Ctx.argPtr(2).advance(Pair * 8 * 8);
+        for (int I = 0; I < 8; ++I)
+          P[I] = Ctx.loadF64(Src.advance(I * 8));
+        Ctx.storeF64(Ctx.argPtr(1).advance(Pair * 8), p2p(P));
+        Ctx.chargeCycles(90);
+      },
+      14});
+
+  // Nested-task tail: every executing thread bumps its team's counter.
+  TaskTailId = GPU.registry().add(NativeOpInfo{
+      "minifmm_task_tail",
+      [](NativeCtx &Ctx) {
+        const DeviceAddr Counter =
+            Ctx.argPtr(0).advance(static_cast<std::int64_t>(Ctx.teamId()) * 8);
+        // Model a small dynamic task: read-modify-write plus compute.
+        const double Old = Ctx.loadF64(Counter);
+        Ctx.storeF64(Counter, Old + 1.0);
+        Ctx.chargeCycles(120);
+      },
+      6});
+}
+
+void MiniFMM::generate() {
+  Rng R(Cfg.Seed);
+  const std::size_t NPairs =
+      static_cast<std::size_t>(Cfg.Teams) * Cfg.PairsPerTeam;
+  Particles.resize(NPairs * 8);
+  for (double &V : Particles)
+    V = R.uniform(-1.0, 1.0);
+  Out.assign(NPairs, 0.0);
+  TeamMarks.assign(Cfg.Teams, 0.0);
+  TaskCount.assign(Cfg.Teams, 0.0);
+}
+
+void MiniFMM::upload() {
+  auto A = Host.enterData(Particles.data(), Particles.size() * 8);
+  auto B = Host.enterData(Out.data(), Out.size() * 8);
+  auto C = Host.enterData(TeamMarks.data(), TeamMarks.size() * 8);
+  auto D = Host.enterData(TaskCount.data(), TaskCount.size() * 8);
+  CODESIGN_ASSERT(A && B && C && D, "minifmm upload failed");
+}
+
+KernelSpec MiniFMM::makeSpec() const {
+  KernelSpec Spec;
+  Spec.Name = "minifmm_traverse_kernel";
+  Spec.Params = {{ir::Type::ptr(), "out"},
+                 {ir::Type::ptr(), "particles"},
+                 {ir::Type::ptr(), "marks"},
+                 {ir::Type::ptr(), "taskcount"},
+                 {ir::Type::i64(), "pairs_per_team"}};
+  NativeBody Prep;
+  Prep.NativeId = PrepBodyId;
+  Prep.Args = {BodyArg::arg(2), BodyArg::teamNum()};
+
+  NativeBody P2P;
+  P2P.NativeId = P2PBodyId;
+  P2P.Args = {BodyArg::iter(), BodyArg::arg(0), BodyArg::arg(1),
+              BodyArg::teamNum()};
+
+  NativeBody Tail;
+  Tail.NativeId = TaskTailId;
+  Tail.Args = {BodyArg::arg(3)};
+
+  Spec.Stmts = {
+      Stmt::serial(Prep),
+      Stmt::parallel({Stmt::forLoop(TripCount::argument(4), P2P),
+                      Stmt::parallelWork(Tail)}),
+  };
+  return Spec;
+}
+
+double MiniFMM::referencePair(std::uint64_t Pair) const {
+  return p2p(Particles.data() + Pair * 8);
+}
+
+AppRunResult MiniFMM::run(const BuildConfig &Build) {
+  AppRunResult Result;
+  Result.Build = Build.Name;
+  auto CK =
+      frontend::compileKernel(makeSpec(), Build.Options, GPU.registry());
+  if (!CK) {
+    Result.Error = CK.error().message();
+    return Result;
+  }
+  Result.Stats = CK->Stats;
+  const ir::ExecMode Mode = CK->Kernel->execMode();
+  LiveModules.push_back(std::move(CK->M));
+  Host.registerImage(*LiveModules.back());
+
+  std::fill(Out.begin(), Out.end(), 0.0);
+  std::fill(TeamMarks.begin(), TeamMarks.end(), 0.0);
+  std::fill(TaskCount.begin(), TaskCount.end(), 0.0);
+  CODESIGN_ASSERT(Host.updateTo(Out.data()).hasValue() &&
+                      Host.updateTo(TeamMarks.data()).hasValue() &&
+                      Host.updateTo(TaskCount.data()).hasValue(),
+                  "reset failed");
+  const host::KernelArg Args[] = {
+      host::KernelArg::mapped(Out.data()),
+      host::KernelArg::mapped(Particles.data()),
+      host::KernelArg::mapped(TeamMarks.data()),
+      host::KernelArg::mapped(TaskCount.data()),
+      host::KernelArg::i64(Cfg.PairsPerTeam)};
+  auto LR = Host.launch(CK->Kernel->name(), Args, Cfg.Teams, Cfg.Threads);
+  if (!LR || !LR->Ok) {
+    Result.Error = LR ? LR->Error : LR.error().message();
+    return Result;
+  }
+  Result.Ok = true;
+  Result.Metrics = LR->Metrics;
+  CODESIGN_ASSERT(Host.updateFrom(Out.data()).hasValue() &&
+                      Host.updateFrom(TeamMarks.data()).hasValue() &&
+                      Host.updateFrom(TaskCount.data()).hasValue(),
+                  "readback failed");
+
+  Result.Verified = true;
+  const std::uint64_t NPairs =
+      static_cast<std::uint64_t>(Cfg.Teams) * Cfg.PairsPerTeam;
+  for (std::uint64_t P = 0; P < NPairs && Result.Verified; ++P)
+    if (std::fabs(Out[P] - referencePair(P)) > 1e-9)
+      Result.Verified = false;
+  for (std::uint32_t T = 0; T < Cfg.Teams && Result.Verified; ++T)
+    if (std::fabs(TeamMarks[T] - (static_cast<double>(T) + 0.5)) > 1e-12)
+      Result.Verified = false;
+  // The nested-task counter depends on how many threads execute the
+  // region: the generic-mode runtime runs it on the workers, the
+  // SPMD/native lowerings on every thread of the team.
+  const double ExpectedTasks =
+      Mode == ir::ExecMode::Generic
+          ? static_cast<double>(Cfg.Threads - 1)
+          : static_cast<double>(Cfg.Threads);
+  for (std::uint32_t T = 0; T < Cfg.Teams && Result.Verified; ++T)
+    if (std::fabs(TaskCount[T] - ExpectedTasks) > 1e-12)
+      Result.Verified = false;
+
+  Result.AppMetric = static_cast<double>(NPairs) /
+                     (static_cast<double>(LR->Metrics.KernelCycles) / 1000.0);
+  return Result;
+}
+
+} // namespace codesign::apps

@@ -1,0 +1,25 @@
+#include "frontend/Driver.hpp"
+
+#include "ir/Linker.hpp"
+#include "oldrt/OldDeviceRTL.hpp"
+#include "rt/DeviceRTL.hpp"
+
+namespace codesign::frontend {
+
+Expected<bool> linkRuntime(ir::Module &AppModule, RuntimeKind Kind) {
+  switch (Kind) {
+  case RuntimeKind::Native:
+    return true;
+  case RuntimeKind::NewRT: {
+    auto RTL = rt::buildDeviceRTL();
+    return ir::linkModules(AppModule, *RTL);
+  }
+  case RuntimeKind::OldRT: {
+    auto RTL = oldrt::buildOldDeviceRTL();
+    return ir::linkModules(AppModule, *RTL);
+  }
+  }
+  CODESIGN_UNREACHABLE("bad runtime kind");
+}
+
+} // namespace codesign::frontend

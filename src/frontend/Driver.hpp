@@ -1,0 +1,13 @@
+//===- frontend/Driver.hpp - Link the chosen runtime into an app module ----===//
+#pragma once
+
+#include "frontend/Codegen.hpp"
+
+namespace codesign::frontend {
+
+/// Link the runtime matching Kind into AppModule (no-op for Native),
+/// reproducing the paper's Section II-B flow: the device RTL is merged as a
+/// "bitcode library" before any optimization runs.
+Expected<bool> linkRuntime(ir::Module &AppModule, RuntimeKind Kind);
+
+} // namespace codesign::frontend

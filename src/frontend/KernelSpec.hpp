@@ -1,0 +1,172 @@
+//===- frontend/KernelSpec.hpp - Directive-level kernel description --------===//
+//
+// The frontend's input language: a structured description of an OpenMP
+// target region (directives, clauses, loop bodies) that stands in for the
+// Clang AST. The same KernelSpec lowers through three paths:
+//
+//   * NewRT  — the co-designed runtime of Section III (this paper),
+//   * OldRT  — the legacy runtime baseline,
+//   * Native — hand-lowered CUDA-style code with no runtime at all.
+//
+// Numeric loop bodies are registered native operations (see
+// vgpu::NativeRegistry); everything the paper's optimizations act on — the
+// runtime calls, state, barriers, argument marshalling — is emitted as IR.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/Instruction.hpp"
+#include "ir/Type.hpp"
+
+namespace codesign::frontend {
+
+/// One kernel parameter (a scalar or a device pointer).
+struct ParamSpec {
+  ir::Type Ty;
+  std::string Name;
+};
+
+/// Where a loop's trip count comes from. `LoadFromArgPtr` models the
+/// GridMini/XSBench situation of Section VII: bounds loaded from memory
+/// inside the region, whose side effect blocks barrier elimination — the
+/// paper fixed GridMini by passing the bound by value (`Argument`).
+struct TripCount {
+  enum class Kind { Constant, Argument, LoadFromArgPtr };
+  Kind K = Kind::Constant;
+  std::int64_t Const = 0;   ///< Kind::Constant
+  unsigned ArgIndex = 0;    ///< Argument / LoadFromArgPtr: which parameter
+  std::int64_t Offset = 0;  ///< LoadFromArgPtr: byte offset of the i64 bound
+
+  static TripCount constant(std::int64_t N) {
+    return {Kind::Constant, N, 0, 0};
+  }
+  static TripCount argument(unsigned Idx) {
+    return {Kind::Argument, 0, Idx, 0};
+  }
+  static TripCount loadFrom(unsigned Idx, std::int64_t Off) {
+    return {Kind::LoadFromArgPtr, 0, Idx, Off};
+  }
+};
+
+/// One argument forwarded to a native loop body.
+struct BodyArg {
+  enum class Kind {
+    IterVar,    ///< the work-shared iteration variable (i64)
+    KernelArg,  ///< kernel parameter #ArgIndex
+    ThreadNum,  ///< omp_get_thread_num()
+    NumThreads, ///< omp_get_num_threads()
+    TeamNum,    ///< omp_get_team_num()
+    NumTeams,   ///< omp_get_num_teams()
+    Scratch,    ///< pointer to the per-team shared scratch block
+    Constant,   ///< a literal i64
+  };
+  Kind K = Kind::IterVar;
+  unsigned ArgIndex = 0;
+  std::int64_t Const = 0;
+
+  static BodyArg iter() { return {Kind::IterVar, 0, 0}; }
+  static BodyArg arg(unsigned Idx) { return {Kind::KernelArg, Idx, 0}; }
+  static BodyArg threadNum() { return {Kind::ThreadNum, 0, 0}; }
+  static BodyArg numThreads() { return {Kind::NumThreads, 0, 0}; }
+  static BodyArg teamNum() { return {Kind::TeamNum, 0, 0}; }
+  static BodyArg numTeams() { return {Kind::NumTeams, 0, 0}; }
+  static BodyArg scratch() { return {Kind::Scratch, 0, 0}; }
+  static BodyArg constant(std::int64_t C) { return {Kind::Constant, 0, C}; }
+};
+
+/// A call to a registered native operation.
+struct NativeBody {
+  std::int64_t NativeId = 0;
+  std::vector<BodyArg> Args;
+  ir::NativeOpFlags Flags;
+};
+
+/// Statement kinds inside a target region.
+enum class StmtKind {
+  Serial,               ///< executed once (by the region's initial thread)
+  Parallel,             ///< #pragma omp parallel { children }
+  For,                  ///< #pragma omp for (inside a parallel)
+  DistributeParallelFor, ///< combined teams-level worksharing loop
+  SetNumThreads,        ///< omp_set_num_threads(N) — ICV write
+};
+
+/// A node of the region tree. (A small closed variant; a class hierarchy
+/// would be overkill for five shapes.)
+struct Stmt {
+  StmtKind K = StmtKind::Serial;
+  NativeBody Body;              ///< Serial / For / DistributeParallelFor
+  TripCount Trip;               ///< For / DistributeParallelFor
+  std::vector<Stmt> Children;   ///< Parallel
+  std::int32_t NumThreadsClause = 0; ///< Parallel: 0 = no clause
+  std::uint64_t ScratchBytes = 0; ///< Parallel / DPF: per-team shared scratch
+  std::int32_t IcvValue = 0;    ///< SetNumThreads
+  bool HasDirectBody = false;   ///< Parallel: Body executed by each thread
+
+  static Stmt serial(NativeBody B) {
+    Stmt S;
+    S.K = StmtKind::Serial;
+    S.Body = std::move(B);
+    return S;
+  }
+  static Stmt parallel(std::vector<Stmt> Children,
+                       std::int32_t NumThreads = 0,
+                       std::uint64_t ScratchBytes = 0) {
+    Stmt S;
+    S.K = StmtKind::Parallel;
+    S.Children = std::move(Children);
+    S.NumThreadsClause = NumThreads;
+    S.ScratchBytes = ScratchBytes;
+    return S;
+  }
+  /// A parallel region whose every thread directly executes Body (no
+  /// worksharing): `#pragma omp parallel { work(); }`. Valid nested, where
+  /// the runtime serializes it with an individual thread ICV state — the
+  /// dynamic-task-parallelism proxy used by the MiniFMM port.
+  static Stmt parallelWork(NativeBody Body, std::int32_t NumThreads = 0) {
+    Stmt S;
+    S.K = StmtKind::Parallel;
+    S.Body = std::move(Body);
+    S.HasDirectBody = true;
+    S.NumThreadsClause = NumThreads;
+    return S;
+  }
+  static Stmt forLoop(TripCount Trip, NativeBody B) {
+    Stmt S;
+    S.K = StmtKind::For;
+    S.Trip = Trip;
+    S.Body = std::move(B);
+    return S;
+  }
+  static Stmt distributeParallelFor(TripCount Trip, NativeBody B,
+                                    std::uint64_t ScratchBytes = 0) {
+    Stmt S;
+    S.K = StmtKind::DistributeParallelFor;
+    S.Trip = Trip;
+    S.Body = std::move(B);
+    S.ScratchBytes = ScratchBytes;
+    return S;
+  }
+  static Stmt setNumThreads(std::int32_t N) {
+    Stmt S;
+    S.K = StmtKind::SetNumThreads;
+    S.IcvValue = N;
+    return S;
+  }
+};
+
+/// A whole target region.
+struct KernelSpec {
+  std::string Name;
+  std::vector<ParamSpec> Params;
+  std::vector<Stmt> Stmts;
+};
+
+/// True when the region is a single combined distribute-parallel-for (the
+/// shape that lowers directly to SPMD mode, paper Section II-C).
+bool isSpmdCompatible(const KernelSpec &Spec);
+
+} // namespace codesign::frontend

@@ -1,0 +1,76 @@
+#include "frontend/TargetCompiler.hpp"
+
+#include "frontend/Driver.hpp"
+#include "ir/Verifier.hpp"
+
+namespace codesign::frontend {
+
+CompileOptions CompileOptions::oldRT() {
+  CompileOptions O;
+  O.CG.RT = RuntimeKind::OldRT;
+  // The full pipeline runs, but the opaque runtime defeats it — that is
+  // the point of the baseline.
+  return O;
+}
+
+CompileOptions CompileOptions::newRTNightly() {
+  CompileOptions O;
+  O.CG.RT = RuntimeKind::NewRT;
+  O.Opt = opt::OptOptions::nightly();
+  return O;
+}
+
+CompileOptions CompileOptions::newRTNoAssumptions() {
+  CompileOptions O;
+  O.CG.RT = RuntimeKind::NewRT;
+  return O;
+}
+
+CompileOptions CompileOptions::newRT() {
+  CompileOptions O;
+  O.CG.RT = RuntimeKind::NewRT;
+  O.CG.AssumeTeamsOversubscription = true;
+  O.CG.AssumeThreadsOversubscription = true;
+  return O;
+}
+
+CompileOptions CompileOptions::cuda() {
+  CompileOptions O;
+  O.CG.RT = RuntimeKind::Native;
+  return O;
+}
+
+Expected<CompiledKernel> compileKernel(const KernelSpec &Spec,
+                                       const CompileOptions &Options,
+                                       const vgpu::NativeRegistry &Registry) {
+  auto CG = emitKernel(Spec, Options.CG);
+  if (!CG)
+    return CG.error();
+  auto Linked = linkRuntime(*CG->AppModule, Options.CG.RT);
+  if (!Linked)
+    return Linked.error();
+  {
+    auto Errors = ir::verifyModule(*CG->AppModule);
+    if (!Errors.empty())
+      return makeError("post-link verification failed: ", Errors.front());
+  }
+  if (Options.RunOptimizer) {
+    opt::OptOptions OptCfg = Options.Opt;
+    // Debug builds keep the assumptions alive so the virtual GPU verifies
+    // them at run time (Section III-G).
+    if (Options.CG.DebugKind != 0)
+      OptCfg.KeepAssumes = true;
+    opt::runPipeline(*CG->AppModule, OptCfg);
+    auto Errors = ir::verifyModule(*CG->AppModule);
+    if (!Errors.empty())
+      return makeError("post-optimization verification failed: ",
+                       Errors.front());
+  }
+  CompiledKernel Out;
+  Out.Kernel = CG->Kernel;
+  Out.M = std::move(CG->AppModule);
+  Out.Stats = vgpu::computeKernelStats(*Out.Kernel, Registry);
+  return Out;
+}
+
+} // namespace codesign::frontend

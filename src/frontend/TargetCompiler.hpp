@@ -1,0 +1,45 @@
+//===- frontend/TargetCompiler.hpp - Full compilation driver ---------------===//
+//
+// One-stop compilation mirroring the paper's Figure 1: lower the kernel
+// spec with the chosen runtime, link the device RTL in as a "bitcode
+// library", run the openmp-opt pipeline, verify, and compute the static
+// resource stats (registers / shared memory / code size).
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include "frontend/Codegen.hpp"
+#include "opt/Pipeline.hpp"
+#include "vgpu/KernelStats.hpp"
+
+namespace codesign::frontend {
+
+/// Combined frontend + optimizer configuration.
+struct CompileOptions {
+  CodegenOptions CG;
+  opt::OptOptions Opt;
+  /// Skip the optimizer entirely (codegen output runs as-is).
+  bool RunOptimizer = true;
+
+  /// The paper's five build configurations (Figure 11 rows).
+  static CompileOptions oldRT();
+  static CompileOptions newRTNightly();
+  static CompileOptions newRTNoAssumptions();
+  static CompileOptions newRT(); ///< with oversubscription assumptions
+  static CompileOptions cuda();
+};
+
+/// A fully compiled kernel, ready to load onto the virtual GPU.
+struct CompiledKernel {
+  std::unique_ptr<ir::Module> M;
+  ir::Function *Kernel = nullptr;
+  vgpu::KernelStaticStats Stats;
+};
+
+/// Compile Spec under Options. The registry is consulted for the register
+/// footprint of native loop bodies. Fails on codegen/link/verify errors.
+Expected<CompiledKernel> compileKernel(const KernelSpec &Spec,
+                                       const CompileOptions &Options,
+                                       const vgpu::NativeRegistry &Registry);
+
+} // namespace codesign::frontend

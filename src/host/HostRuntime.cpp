@@ -1,0 +1,128 @@
+#include "host/HostRuntime.hpp"
+
+#include <cstring>
+
+namespace codesign::host {
+
+HostRuntime::~HostRuntime() {
+  // Release leaked mappings so the device allocator stays usable for the
+  // next runtime instance; tests check numMappings() to catch the leaks
+  // themselves.
+  for (auto &[HostPtr, M] : Table)
+    Device.release(M.Addr);
+}
+
+void HostRuntime::registerImage(const ir::Module &M) {
+  Images.push_back(Device.loadImage(M));
+  const vgpu::ModuleImage *Img = Images.back().get();
+  for (const auto &F : M.functions())
+    if (F->hasAttr(ir::FnAttr::Kernel))
+      Kernels[F->name()] = KernelEntry{Img, F.get()};
+}
+
+Expected<DeviceAddr> HostRuntime::enterData(const void *HostPtr,
+                                            std::uint64_t Size, bool CopyTo) {
+  if (!HostPtr || Size == 0)
+    return makeError("enterData: null pointer or zero size");
+  auto It = Table.find(HostPtr);
+  if (It != Table.end()) {
+    if (It->second.Size != Size)
+      return makeError("enterData: pointer already mapped with a different "
+                       "size");
+    ++It->second.RefCount;
+    return It->second.Addr;
+  }
+  Mapping M;
+  M.Addr = Device.allocate(Size);
+  M.Size = Size;
+  M.RefCount = 1;
+  if (CopyTo)
+    Device.write(M.Addr,
+                 std::span(static_cast<const std::uint8_t *>(HostPtr), Size));
+  Table.emplace(HostPtr, M);
+  return M.Addr;
+}
+
+Expected<bool> HostRuntime::exitData(void *HostPtr, bool CopyFrom) {
+  auto It = Table.find(HostPtr);
+  if (It == Table.end())
+    return makeError("exitData: pointer is not mapped");
+  Mapping &M = It->second;
+  if (CopyFrom)
+    Device.read(M.Addr,
+                std::span(static_cast<std::uint8_t *>(HostPtr), M.Size));
+  if (--M.RefCount == 0) {
+    Device.release(M.Addr);
+    Table.erase(It);
+  }
+  return true;
+}
+
+Expected<bool> HostRuntime::updateTo(const void *HostPtr) {
+  auto It = Table.find(HostPtr);
+  if (It == Table.end())
+    return makeError("updateTo: pointer is not mapped");
+  Device.write(It->second.Addr,
+               std::span(static_cast<const std::uint8_t *>(HostPtr),
+                         It->second.Size));
+  return true;
+}
+
+Expected<bool> HostRuntime::updateFrom(void *HostPtr) {
+  auto It = Table.find(HostPtr);
+  if (It == Table.end())
+    return makeError("updateFrom: pointer is not mapped");
+  Device.read(It->second.Addr,
+              std::span(static_cast<std::uint8_t *>(HostPtr),
+                        It->second.Size));
+  return true;
+}
+
+Expected<DeviceAddr> HostRuntime::lookup(const void *HostPtr) const {
+  auto It = Table.find(HostPtr);
+  if (It == Table.end())
+    return makeError("lookup: pointer is not mapped");
+  return It->second.Addr;
+}
+
+bool HostRuntime::isPresent(const void *HostPtr) const {
+  return Table.find(HostPtr) != Table.end();
+}
+
+Expected<LaunchResult> HostRuntime::launch(std::string_view KernelName,
+                                           std::span<const KernelArg> Args,
+                                           std::uint32_t NumTeams,
+                                           std::uint32_t NumThreads) {
+  auto It = Kernels.find(KernelName);
+  if (It == Kernels.end())
+    return makeError("launch: no registered kernel named '",
+                     std::string(KernelName), "'");
+  std::vector<std::uint64_t> Bits;
+  Bits.reserve(Args.size());
+  for (const KernelArg &A : Args) {
+    switch (A.K) {
+    case KernelArg::Kind::I64:
+      Bits.push_back(static_cast<std::uint64_t>(A.I));
+      break;
+    case KernelArg::Kind::F64: {
+      std::uint64_t B;
+      std::memcpy(&B, &A.F, 8);
+      Bits.push_back(B);
+      break;
+    }
+    case KernelArg::Kind::MappedPtr: {
+      auto Addr = lookup(A.HostPtr);
+      if (!Addr)
+        return makeError("launch: argument pointer is not mapped (map it "
+                         "with enterData first)");
+      Bits.push_back(Addr->Bits);
+      break;
+    }
+    }
+  }
+  LaunchResult R = Device.launch(*It->second.Image, It->second.Kernel, Bits,
+                                 NumTeams, NumThreads);
+  return R;
+}
+
+} // namespace codesign::host

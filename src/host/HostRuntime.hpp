@@ -1,0 +1,110 @@
+//===- host/HostRuntime.hpp - libomptarget-style host runtime --------------===//
+//
+// The host side of the paper's Section II-C execution model: "The host
+// (CPU) coordinates scheduling and synchronization of target tasks (i.e.
+// kernels), as well as memory allocation and movement between the host and
+// GPUs." Provides the classic present-table data mapping with reference
+// counts (target enter/exit/update data) and kernel launches that marshal
+// scalar arguments and translate mapped host pointers to device addresses.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/Error.hpp"
+#include "vgpu/VirtualGPU.hpp"
+
+namespace codesign::host {
+
+using vgpu::DeviceAddr;
+using vgpu::LaunchResult;
+
+/// One kernel argument from the host's perspective.
+struct KernelArg {
+  enum class Kind { I64, F64, MappedPtr };
+  Kind K = Kind::I64;
+  std::int64_t I = 0;
+  double F = 0.0;
+  const void *HostPtr = nullptr;
+
+  static KernelArg i64(std::int64_t V) { return {Kind::I64, V, 0.0, nullptr}; }
+  static KernelArg f64(double V) { return {Kind::F64, 0, V, nullptr}; }
+  /// A pointer previously mapped with enterData; translated at launch.
+  static KernelArg mapped(const void *P) {
+    return {Kind::MappedPtr, 0, 0.0, P};
+  }
+};
+
+/// Host-side OpenMP offloading runtime over one virtual device.
+class HostRuntime {
+public:
+  explicit HostRuntime(vgpu::VirtualGPU &Device) : Device(Device) {}
+  ~HostRuntime();
+  HostRuntime(const HostRuntime &) = delete;
+  HostRuntime &operator=(const HostRuntime &) = delete;
+
+  // --- Device images -------------------------------------------------------
+
+  /// Register and load a compiled module; kernels become launchable by
+  /// name. The module must outlive this runtime.
+  void registerImage(const ir::Module &M);
+
+  // --- Data mapping (present table, reference counted) ----------------------
+
+  /// Map [HostPtr, HostPtr+Size) to device memory ("omp target enter
+  /// data"). Increments the reference count when already present (the
+  /// size must then match). CopyTo controls the `to` motion clause.
+  Expected<DeviceAddr> enterData(const void *HostPtr, std::uint64_t Size,
+                                 bool CopyTo = true);
+
+  /// Unmap ("omp target exit data"): decrement the reference count;
+  /// CopyFrom performs the `from` motion when given. Storage is released
+  /// when the count reaches zero.
+  Expected<bool> exitData(void *HostPtr, bool CopyFrom = false);
+
+  /// "omp target update to/from": refresh one direction without changing
+  /// reference counts.
+  Expected<bool> updateTo(const void *HostPtr);
+  Expected<bool> updateFrom(void *HostPtr);
+
+  /// Device address of a mapped host pointer (error when not present).
+  Expected<DeviceAddr> lookup(const void *HostPtr) const;
+  /// True when the pointer is currently mapped.
+  [[nodiscard]] bool isPresent(const void *HostPtr) const;
+  /// Number of live mappings (leak checks in tests).
+  [[nodiscard]] std::size_t numMappings() const { return Table.size(); }
+
+  // --- Kernel launches ---------------------------------------------------------
+
+  /// Launch a registered kernel ("omp target teams ..."): marshals the
+  /// arguments (translating mapped pointers) and blocks until completion.
+  Expected<LaunchResult> launch(std::string_view KernelName,
+                                std::span<const KernelArg> Args,
+                                std::uint32_t NumTeams,
+                                std::uint32_t NumThreads);
+
+private:
+  struct Mapping {
+    DeviceAddr Addr;
+    std::uint64_t Size = 0;
+    std::uint32_t RefCount = 0;
+  };
+
+  struct KernelEntry {
+    const vgpu::ModuleImage *Image = nullptr;
+    const ir::Function *Kernel = nullptr;
+  };
+
+  vgpu::VirtualGPU &Device;
+  std::map<const void *, Mapping> Table;
+  std::vector<std::unique_ptr<vgpu::ModuleImage>> Images;
+  std::map<std::string, KernelEntry, std::less<>> Kernels;
+};
+
+} // namespace codesign::host

@@ -1,0 +1,79 @@
+//===- ir/BasicBlock.hpp - Basic block container ---------------------------===//
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/Instruction.hpp"
+
+namespace codesign::ir {
+
+class Function;
+
+/// A straight-line sequence of instructions ending in a terminator.
+/// Owns its instructions; successor edges live on the terminator, and
+/// predecessors are computed on demand (the CFGs here are small).
+class BasicBlock {
+public:
+  explicit BasicBlock(std::string Name) : BlockName(std::move(Name)) {}
+  /// Drops all operand references before destroying instructions so that
+  /// use-list maintenance never touches an already-destroyed value.
+  ~BasicBlock();
+  BasicBlock(const BasicBlock &) = delete;
+  BasicBlock &operator=(const BasicBlock &) = delete;
+
+  /// Block label for printing.
+  [[nodiscard]] const std::string &name() const { return BlockName; }
+  void setName(std::string N) { BlockName = std::move(N); }
+
+  /// The function containing this block.
+  [[nodiscard]] Function *parent() const { return Parent; }
+
+  /// Instruction sequence, in execution order.
+  [[nodiscard]] const std::vector<std::unique_ptr<Instruction>> &
+  instructions() const {
+    return Insts;
+  }
+  /// Number of instructions.
+  [[nodiscard]] std::size_t size() const { return Insts.size(); }
+  /// True when the block has no instructions yet.
+  [[nodiscard]] bool empty() const { return Insts.empty(); }
+  /// Instruction at position I.
+  [[nodiscard]] Instruction *inst(std::size_t I) const {
+    CODESIGN_ASSERT(I < Insts.size(), "instruction index out of range");
+    return Insts[I].get();
+  }
+
+  /// Append an instruction; takes ownership.
+  Instruction *append(std::unique_ptr<Instruction> I);
+  /// Insert an instruction before position Pos; takes ownership.
+  Instruction *insertAt(std::size_t Pos, std::unique_ptr<Instruction> I);
+  /// Position of the instruction inside this block.
+  [[nodiscard]] std::size_t indexOf(const Instruction *I) const;
+  /// Remove and destroy an instruction. It must have no remaining uses;
+  /// its operands are dropped automatically.
+  void erase(Instruction *I);
+  /// Detach an instruction without destroying it (for moves between blocks).
+  std::unique_ptr<Instruction> detach(Instruction *I);
+
+  /// The terminator, or null while the block is under construction.
+  [[nodiscard]] Instruction *terminator() const {
+    if (Insts.empty() || !Insts.back()->isTerminator())
+      return nullptr;
+    return Insts.back().get();
+  }
+
+  /// Successor blocks taken from the terminator.
+  [[nodiscard]] std::vector<BasicBlock *> successors() const;
+  /// Predecessor blocks, computed by scanning the parent function.
+  [[nodiscard]] std::vector<BasicBlock *> predecessors() const;
+
+private:
+  friend class Function;
+  std::string BlockName;
+  Function *Parent = nullptr;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+};
+
+} // namespace codesign::ir

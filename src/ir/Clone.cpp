@@ -1,0 +1,116 @@
+#include "ir/Clone.hpp"
+
+namespace codesign::ir {
+
+namespace {
+
+/// Copy opcode, type and payload fields but not operands/blocks.
+std::unique_ptr<Instruction> cloneShell(const Instruction &I) {
+  auto N = std::make_unique<Instruction>(I.opcode(), I.type());
+  N->setPred(I.pred());
+  N->setImm(I.imm());
+  if (!I.str().empty())
+    N->setStr(I.str());
+  N->setNativeFlags(I.nativeFlags());
+  if (!I.name().empty())
+    N->setName(I.name());
+  return N;
+}
+
+} // namespace
+
+ClonedBody cloneBody(const Function &Src, Function &Dst, ValueMap &VMap,
+                     const ValueResolver &Resolve,
+                     const std::string &BlockSuffix) {
+  CODESIGN_ASSERT(!Src.isDeclaration(), "cannot clone a declaration");
+  ClonedBody Result;
+
+  // Phase 1: create blocks and instruction shells so forward references
+  // (phis, branches) resolve.
+  std::unordered_map<const BasicBlock *, BasicBlock *> BlockMap;
+  for (const auto &BB : Src.blocks()) {
+    BasicBlock *NB = Dst.createBlock(BB->name() + BlockSuffix);
+    BlockMap[BB.get()] = NB;
+    Result.Blocks.push_back(NB);
+    for (const auto &I : BB->instructions()) {
+      Instruction *NI = NB->append(cloneShell(*I));
+      VMap[I.get()] = NI;
+    }
+  }
+  Result.Entry = BlockMap.at(Src.entry());
+
+  auto mapValue = [&](Value *V) -> Value * {
+    auto It = VMap.find(V);
+    if (It != VMap.end())
+      return It->second;
+    Value *R = Resolve(V);
+    CODESIGN_ASSERT(R, "unresolved value during cloning");
+    VMap[V] = R;
+    return R;
+  };
+
+  // Phase 2: fill operands and block operands.
+  for (const auto &BB : Src.blocks()) {
+    BasicBlock *NB = BlockMap.at(BB.get());
+    for (std::size_t Idx = 0; Idx < BB->size(); ++Idx) {
+      const Instruction *OI = BB->inst(Idx);
+      Instruction *NI = NB->inst(Idx);
+      for (unsigned OpIdx = 0; OpIdx < OI->numOperands(); ++OpIdx)
+        NI->addOperand(mapValue(OI->operand(OpIdx)));
+      for (unsigned BIdx = 0; BIdx < OI->numBlockOperands(); ++BIdx)
+        NI->addBlockOperand(BlockMap.at(OI->blockOperand(BIdx)));
+      if (NI->opcode() == Opcode::Ret)
+        Result.Rets.push_back(NI);
+    }
+  }
+  return Result;
+}
+
+ValueResolver identityResolver() {
+  return [](Value *V) -> Value * {
+    switch (V->kind()) {
+    case ValueKind::ConstantInt:
+    case ValueKind::ConstantFP:
+    case ValueKind::ConstantNull:
+    case ValueKind::Undef:
+    case ValueKind::GlobalVariable:
+    case ValueKind::Function:
+      return V;
+    default:
+      return nullptr;
+    }
+  };
+}
+
+ValueResolver crossModuleResolver(Module &Dst) {
+  return [&Dst](Value *V) -> Value * {
+    switch (V->kind()) {
+    case ValueKind::ConstantInt: {
+      auto *C = cast<ConstantInt>(V);
+      return Dst.constInt(C->type(), C->value());
+    }
+    case ValueKind::ConstantFP: {
+      auto *C = cast<ConstantFP>(V);
+      return Dst.constFP(C->type(), C->value());
+    }
+    case ValueKind::ConstantNull:
+      return Dst.nullPtr();
+    case ValueKind::Undef:
+      return Dst.undef(V->type());
+    case ValueKind::GlobalVariable: {
+      GlobalVariable *G = Dst.findGlobal(V->name());
+      CODESIGN_ASSERT(G, "cross-module clone: global missing in destination");
+      return G;
+    }
+    case ValueKind::Function: {
+      Function *F = Dst.findFunction(Function::fromValue(V)->name());
+      CODESIGN_ASSERT(F, "cross-module clone: function missing in destination");
+      return F->asValue();
+    }
+    default:
+      return nullptr;
+    }
+  };
+}
+
+} // namespace codesign::ir

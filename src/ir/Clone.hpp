@@ -1,0 +1,54 @@
+//===- ir/Clone.hpp - Function body cloning --------------------------------===//
+//
+// Cloning underlies three paper mechanisms: linking the device runtime
+// module into the application (Section II-B), internalization (Section
+// IV-A1, duplicating externally-visible functions for analysis), and
+// inlining inside the optimizer.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/Module.hpp"
+
+namespace codesign::ir {
+
+/// Maps already-translated values; cloning consults it before Resolve.
+using ValueMap = std::unordered_map<const Value *, Value *>;
+
+/// Fallback used for values not found in the ValueMap: constants, globals
+/// and function addresses. Must return a value valid in the destination.
+using ValueResolver = std::function<Value *(Value *)>;
+
+/// Result of cloning a function body into a destination function.
+struct ClonedBody {
+  /// Clone of the source entry block.
+  BasicBlock *Entry = nullptr;
+  /// All cloned blocks, in source layout order.
+  std::vector<BasicBlock *> Blocks;
+  /// Cloned Ret instructions (used by the inliner to stitch control flow).
+  std::vector<Instruction *> Rets;
+};
+
+/// Clone Src's blocks and instructions into Dst. VMap must already map the
+/// source arguments to destination values (destination arguments when
+/// cloning whole functions, call operands when inlining). Resolve handles
+/// module-level values. BlockSuffix is appended to block labels to keep
+/// dumps readable.
+ClonedBody cloneBody(const Function &Src, Function &Dst, ValueMap &VMap,
+                     const ValueResolver &Resolve,
+                     const std::string &BlockSuffix);
+
+/// A resolver for cloning within one module: constants, globals and
+/// functions map to themselves.
+ValueResolver identityResolver();
+
+/// A resolver for cross-module cloning: constants are re-created in Dst,
+/// globals and functions are looked up by name in Dst (they must exist).
+ValueResolver crossModuleResolver(Module &Dst);
+
+} // namespace codesign::ir

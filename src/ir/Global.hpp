@@ -1,0 +1,76 @@
+//===- ir/Global.hpp - Global variables with address spaces ---------------===//
+//
+// Global variables carry the address space that determines where the virtual
+// GPU materializes them: Global/Constant space variables live once per
+// device, Shared space variables are instantiated per team — this is where
+// the runtime's team ICV state, thread-states array and shared-memory stack
+// live (paper Sections III-A..III-D), and their post-optimization survival
+// is exactly what the paper's "SMem" column measures.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/Value.hpp"
+
+namespace codesign::ir {
+
+/// A module-level variable. Its Value is the address (Ptr-typed).
+class GlobalVariable final : public Value {
+public:
+  GlobalVariable(std::string Name, AddrSpace Space, std::uint64_t SizeBytes,
+                 unsigned Align = 8)
+      : Value(ValueKind::GlobalVariable, Type::ptr()), Space(Space),
+        Size(SizeBytes), Alignment(Align) {
+    setName(std::move(Name));
+  }
+
+  /// Address space of the storage.
+  [[nodiscard]] AddrSpace space() const { return Space; }
+  /// Storage size in bytes.
+  [[nodiscard]] std::uint64_t sizeBytes() const { return Size; }
+  /// Required alignment in bytes.
+  [[nodiscard]] unsigned alignment() const { return Alignment; }
+
+  /// True when the variable is not visible outside the module (analyzable
+  /// by the paper's Section IV-B machinery; externals never are).
+  [[nodiscard]] bool isInternal() const { return Internal; }
+  void setInternal(bool V) { Internal = V; }
+
+  /// True when the contents never change after initialization.
+  [[nodiscard]] bool isConstant() const { return Const; }
+  void setConstantFlag(bool V) { Const = V; }
+
+  /// Optional initializer bytes; empty means zero-initialized. When present
+  /// the vector must be exactly sizeBytes() long. Shared-space variables are
+  /// re-initialized per team at launch.
+  [[nodiscard]] const std::vector<std::uint8_t> &initializer() const {
+    return Init;
+  }
+  /// True when the initializer is all zeros (explicitly or by default).
+  [[nodiscard]] bool isZeroInit() const;
+  void setInitializer(std::vector<std::uint8_t> Bytes) {
+    CODESIGN_ASSERT(Bytes.size() == Size, "initializer size mismatch");
+    Init = std::move(Bytes);
+  }
+  /// Convenience: initialize with a little-endian integer at offset 0 and
+  /// zeros elsewhere.
+  void setScalarInit(std::uint64_t V, unsigned Bytes);
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::GlobalVariable;
+  }
+
+private:
+  AddrSpace Space;
+  std::uint64_t Size;
+  unsigned Alignment;
+  bool Internal = true;
+  bool Const = false;
+  std::vector<std::uint8_t> Init;
+};
+
+} // namespace codesign::ir

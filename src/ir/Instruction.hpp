@@ -1,0 +1,284 @@
+//===- ir/Instruction.hpp - Instruction representation --------------------===//
+//
+// A single Instruction class with an opcode tag plus small payload fields
+// covers the whole instruction set. GPU-specific operations (thread/block id
+// reads, aligned and unaligned barriers) are first-class opcodes so the
+// optimizer can reason about them directly — the moral equivalent of
+// openmp-opt knowing __kmpc_* semantics in the paper.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/Value.hpp"
+
+namespace codesign::ir {
+
+class BasicBlock;
+class Function;
+
+/// Every operation the IR supports.
+enum class Opcode : std::uint8_t {
+  // Integer arithmetic / bitwise.
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  UDiv,
+  SRem,
+  URem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+  // Floating point arithmetic.
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  // Comparison and selection.
+  ICmp,
+  FCmp,
+  Select,
+  // Conversions.
+  ZExt,
+  SExt,
+  Trunc,
+  SIToFP,
+  FPToSI,
+  FPCast,
+  PtrToInt,
+  IntToPtr,
+  // Memory.
+  Alloca,    // imm = size in bytes; yields a Local-space pointer
+  Load,      // op0 = pointer; result type = loaded type
+  Store,     // op0 = value, op1 = pointer
+  Gep,       // op0 = base pointer, op1 = byte offset (i64); yields pointer
+  AtomicRMW, // imm = AtomicOp; op0 = pointer, op1 = value; yields old value
+  CmpXchg,   // op0 = pointer, op1 = expected, op2 = desired; yields old value
+  Malloc,    // op0 = size (i64); yields Global-space pointer
+  Free,      // op0 = pointer from Malloc
+  // Control flow.
+  Br,          // block0 = target
+  CondBr,      // op0 = i1 condition; block0 = true, block1 = false
+  Ret,         // op0 = value (absent for void returns)
+  Unreachable, //
+  Phi,         // opN = incoming value, blockN = incoming block
+  Call,        // op0 = callee (Function or pointer value), op1.. = arguments
+  // GPU intrinsics (uniform values the paper's invariant propagation
+  // exploits, Section IV-B4).
+  ThreadId, // thread index within the team
+  BlockId,  // team index within the league
+  BlockDim, // threads per team
+  GridDim,  // teams per league
+  WarpSize, // hardware warp width
+  // Synchronization.
+  Barrier,        // unaligned team barrier; imm = barrier id
+  AlignedBarrier, // aligned team barrier (all threads at same instruction)
+  // Compiler/runtime metadata.
+  Assume,     // op0 = i1; informs the optimizer the condition holds
+  AssertFail, // op0 = i1; str = message. Debug-mode runtime check.
+  Trap,       // abort execution of the kernel
+  NativeOp,   // imm = registered host functor id; opN = arguments
+};
+
+/// Comparison predicates for ICmp (integer) and FCmp (ordered float).
+enum class CmpPred : std::uint8_t {
+  EQ,
+  NE,
+  SLT,
+  SLE,
+  SGT,
+  SGE,
+  ULT,
+  ULE,
+  UGT,
+  UGE,
+  OEQ,
+  ONE,
+  OLT,
+  OLE,
+  OGT,
+  OGE,
+};
+
+/// Operations for AtomicRMW.
+enum class AtomicOp : std::uint8_t { Add, Max, Min, Exchange };
+
+/// Side-effect summary flags for NativeOp instructions. Set by the frontend
+/// when it emits the operation, consumed by the optimizer. This mirrors how
+/// the paper attaches assumptions (ext_no_call_asm etc.) to otherwise
+/// opaque code such as inline assembly (Figure 6).
+struct NativeOpFlags {
+  bool ReadsMemory = true;
+  bool WritesMemory = true;
+  /// A divergent native op may behave differently per thread; a uniform one
+  /// computes the same value for every thread of the team.
+  bool Divergent = true;
+};
+
+/// Printable opcode mnemonic.
+const char *opcodeName(Opcode Op);
+
+/// Printable predicate mnemonic.
+const char *cmpPredName(CmpPred P);
+
+/// An instruction: an operation with operands, an optional result value
+/// (the instruction *is* the result value), and bookkeeping payloads.
+class Instruction final : public Value {
+public:
+  Instruction(Opcode Op, Type Ty) : Value(ValueKind::Instruction, Ty), Op(Op) {}
+  ~Instruction() override;
+
+  /// The operation tag.
+  [[nodiscard]] Opcode opcode() const { return Op; }
+  /// The block containing this instruction (null when detached).
+  [[nodiscard]] BasicBlock *parent() const { return Parent; }
+  /// The function containing this instruction (null when detached).
+  [[nodiscard]] Function *function() const;
+
+  // --- Operands -----------------------------------------------------------
+
+  /// Number of value operands.
+  [[nodiscard]] unsigned numOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  /// Operand at index I.
+  [[nodiscard]] Value *operand(unsigned I) const {
+    CODESIGN_ASSERT(I < Operands.size(), "operand index out of range");
+    return Operands[I];
+  }
+  /// Append an operand (updates use lists).
+  void addOperand(Value *V);
+  /// Replace operand I with V (updates use lists).
+  void setOperand(unsigned I, Value *V);
+  /// Remove all operands (updates use lists). Used before erasing.
+  void dropOperands();
+  /// Remove the operand at index I, shifting later operands down (use
+  /// lists are re-registered with their new indices).
+  void removeOperand(unsigned I);
+
+  // --- Block operands (branch targets / phi incoming blocks) --------------
+
+  /// Number of block operands.
+  [[nodiscard]] unsigned numBlockOperands() const {
+    return static_cast<unsigned>(Blocks.size());
+  }
+  /// Block operand at index I.
+  [[nodiscard]] BasicBlock *blockOperand(unsigned I) const {
+    CODESIGN_ASSERT(I < Blocks.size(), "block operand index out of range");
+    return Blocks[I];
+  }
+  /// Append a block operand.
+  void addBlockOperand(BasicBlock *BB) { Blocks.push_back(BB); }
+  /// Replace block operand I.
+  void setBlockOperand(unsigned I, BasicBlock *BB) {
+    CODESIGN_ASSERT(I < Blocks.size(), "block operand index out of range");
+    Blocks[I] = BB;
+  }
+
+  // --- Payload accessors ---------------------------------------------------
+
+  /// Comparison predicate (ICmp/FCmp only).
+  [[nodiscard]] CmpPred pred() const { return Pred; }
+  void setPred(CmpPred P) { Pred = P; }
+
+  /// Immediate payload: Alloca size, NativeOp functor id, AtomicRMW op,
+  /// Barrier id. Interpreted per opcode.
+  [[nodiscard]] std::int64_t imm() const { return Imm; }
+  void setImm(std::int64_t V) { Imm = V; }
+
+  /// AtomicRMW operation (AtomicRMW only).
+  [[nodiscard]] AtomicOp atomicOp() const {
+    return static_cast<AtomicOp>(Imm);
+  }
+
+  /// String payload: AssertFail message, optional annotation.
+  [[nodiscard]] const std::string &str() const { return StrPayload; }
+  void setStr(std::string S) { StrPayload = std::move(S); }
+
+  /// NativeOp side-effect summary (NativeOp only).
+  [[nodiscard]] NativeOpFlags nativeFlags() const { return NFlags; }
+  void setNativeFlags(NativeOpFlags F) { NFlags = F; }
+
+  // --- Phi helpers ----------------------------------------------------------
+
+  /// Add an incoming (value, predecessor) pair to a Phi.
+  void addIncoming(Value *V, BasicBlock *BB) {
+    CODESIGN_ASSERT(Op == Opcode::Phi, "addIncoming on non-phi");
+    addOperand(V);
+    addBlockOperand(BB);
+  }
+  /// Incoming value for predecessor BB (null when BB is not incoming).
+  [[nodiscard]] Value *incomingFor(const BasicBlock *BB) const;
+  /// Remove the incoming pair(s) for predecessor BB from a Phi.
+  void removeIncoming(const BasicBlock *BB);
+
+  // --- Call helpers ---------------------------------------------------------
+
+  /// Direct callee when operand 0 is a Function, else null (indirect call).
+  [[nodiscard]] Function *calledFunction() const;
+  /// Argument count of a call (operands minus the callee).
+  [[nodiscard]] unsigned numCallArgs() const {
+    CODESIGN_ASSERT(Op == Opcode::Call, "numCallArgs on non-call");
+    return numOperands() - 1;
+  }
+  /// Call argument I (0-based, excluding the callee operand).
+  [[nodiscard]] Value *callArg(unsigned I) const {
+    CODESIGN_ASSERT(Op == Opcode::Call, "callArg on non-call");
+    return operand(I + 1);
+  }
+
+  // --- Classification -------------------------------------------------------
+
+  /// True for instructions that end a basic block.
+  [[nodiscard]] bool isTerminator() const {
+    return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret ||
+           Op == Opcode::Unreachable;
+  }
+  /// True for Barrier/AlignedBarrier.
+  [[nodiscard]] bool isBarrier() const {
+    return Op == Opcode::Barrier || Op == Opcode::AlignedBarrier;
+  }
+  /// True when removing the instruction could change observable behaviour
+  /// even if its result is unused. Calls are conservatively included; the
+  /// optimizer refines call effects via the runtime-info table.
+  [[nodiscard]] bool hasSideEffects() const;
+  /// True when the instruction may read from memory.
+  [[nodiscard]] bool mayReadMemory() const;
+  /// True when the instruction may write to memory.
+  [[nodiscard]] bool mayWriteMemory() const;
+
+  /// Size in bytes of the memory access (Load/Store/AtomicRMW/CmpXchg).
+  [[nodiscard]] unsigned accessSize() const;
+  /// The pointer operand of a memory access instruction.
+  [[nodiscard]] Value *pointerOperand() const;
+  /// The value operand of a Store.
+  [[nodiscard]] Value *storedValue() const {
+    CODESIGN_ASSERT(Op == Opcode::Store, "storedValue on non-store");
+    return operand(0);
+  }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Instruction;
+  }
+
+private:
+  friend class BasicBlock;
+
+  Opcode Op;
+  BasicBlock *Parent = nullptr;
+  std::vector<Value *> Operands;
+  std::vector<BasicBlock *> Blocks;
+  CmpPred Pred = CmpPred::EQ;
+  std::int64_t Imm = 0;
+  std::string StrPayload;
+  NativeOpFlags NFlags;
+};
+
+} // namespace codesign::ir

@@ -1,0 +1,69 @@
+#include "ir/Linker.hpp"
+
+#include "ir/Clone.hpp"
+
+namespace codesign::ir {
+
+Expected<bool> linkModules(Module &Dst, const Module &Src) {
+  // Phase 1: materialize globals.
+  for (const auto &G : Src.globals()) {
+    if (GlobalVariable *Existing = Dst.findGlobal(G->name())) {
+      if (Existing->sizeBytes() != G->sizeBytes() ||
+          Existing->space() != G->space())
+        return makeError("link: global '", G->name(),
+                         "' redefined with different size or address space");
+      continue;
+    }
+    GlobalVariable *NG =
+        Dst.createGlobal(G->name(), G->space(), G->sizeBytes(),
+                         G->alignment());
+    NG->setInternal(G->isInternal());
+    NG->setConstantFlag(G->isConstant());
+    if (!G->initializer().empty())
+      NG->setInitializer(G->initializer());
+  }
+
+  // Phase 2: create function shells for every Src function not in Dst.
+  for (const auto &F : Src.functions()) {
+    Function *Existing = Dst.findFunction(F->name());
+    if (!Existing) {
+      std::vector<Type> Params;
+      Params.reserve(F->numArgs());
+      for (const auto &A : F->args())
+        Params.push_back(A->type());
+      Existing = Dst.createFunction(F->name(), F->returnType(),
+                                    std::move(Params));
+      Existing->setExecMode(F->execMode());
+    } else {
+      if (Existing->numArgs() != F->numArgs() ||
+          Existing->returnType() != F->returnType())
+        return makeError("link: function '", F->name(),
+                         "' redeclared with a different signature");
+      if (!Existing->isDeclaration() && !F->isDeclaration())
+        return makeError("link: function '", F->name(), "' defined twice");
+    }
+    // Merge attributes from the runtime module.
+    for (FnAttr A : {FnAttr::Kernel, FnAttr::Internal, FnAttr::NoInline,
+                     FnAttr::AlwaysInline, FnAttr::Pure,
+                     FnAttr::MainThreadOnly})
+      if (F->hasAttr(A))
+        Existing->addAttr(A);
+  }
+
+  // Phase 3: clone bodies.
+  const ValueResolver Resolve = crossModuleResolver(Dst);
+  for (const auto &F : Src.functions()) {
+    if (F->isDeclaration())
+      continue;
+    Function *Target = Dst.findFunction(F->name());
+    if (!Target->isDeclaration())
+      continue; // Dst already had the definition (checked above).
+    ValueMap VMap;
+    for (unsigned I = 0; I < F->numArgs(); ++I)
+      VMap[F->arg(I)] = Target->arg(I);
+    cloneBody(*F, *Target, VMap, Resolve, "");
+  }
+  return true;
+}
+
+} // namespace codesign::ir

@@ -1,0 +1,27 @@
+//===- ir/Linker.hpp - Module linking --------------------------------------===//
+//
+// Reproduces the paper's compilation flow (Section II-B): "the GPU runtime
+// library is first linked into the user code as an LLVM bytecode library and
+// then optimized together with the user application". linkModules copies the
+// runtime module's globals and function definitions into the application
+// module, fulfilling its declarations.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include "ir/Module.hpp"
+#include "support/Error.hpp"
+
+namespace codesign::ir {
+
+/// Link the contents of Src into Dst.
+///  * Globals: created in Dst when missing; existing ones must match in
+///    size and address space.
+///  * Functions: a Dst declaration is fulfilled by a Src definition; a Src
+///    declaration links to whatever Dst has. Two definitions of the same
+///    name are an error.
+/// Returns an error message on incompatibility; Dst may be partially
+/// modified in that case and should be discarded.
+Expected<bool> linkModules(Module &Dst, const Module &Src);
+
+} // namespace codesign::ir

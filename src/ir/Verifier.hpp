@@ -1,0 +1,27 @@
+//===- ir/Verifier.hpp - IR well-formedness checks -------------------------===//
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/Module.hpp"
+
+namespace codesign::ir {
+
+/// Verify structural invariants of a function:
+///  * every block ends in exactly one terminator, with no terminator
+///    mid-block;
+///  * phis appear only at the start of a block and their incoming blocks
+///    are exactly the block's predecessors;
+///  * operand types match opcode requirements (binops homogeneous, loads
+///    through pointers, i1 branch conditions, call signatures for direct
+///    calls, return type agreement);
+///  * SSA dominance: every use is dominated by its definition.
+/// Returns a list of human-readable violations (empty when valid).
+std::vector<std::string> verifyFunction(const Function &F);
+
+/// Verify every function in the module plus module-level invariants
+/// (no kernel declarations, name index consistency).
+std::vector<std::string> verifyModule(const Module &M);
+
+} // namespace codesign::ir

@@ -1,0 +1,290 @@
+#include "oldrt/OldDeviceRTL.hpp"
+
+#include "ir/IRBuilder.hpp"
+#include "rt/RuntimeABI.hpp"
+
+namespace codesign::oldrt {
+
+using namespace ir;
+using rt::MaxThreadsPerTeam;
+
+namespace {
+
+/// Field offsets inside @__old_omp_team_context. Private to the legacy
+/// runtime; nothing else pokes at this state (it is opaque by design).
+struct CtxLayout {
+  static constexpr std::int64_t ParallelLevel = 0; ///< i32
+  static constexpr std::int64_t NumThreads = 4;    ///< i32
+  static constexpr std::int64_t WorkFn = 8;        ///< ptr
+  static constexpr std::int64_t WorkArgs = 16;     ///< ptr
+  static constexpr std::int64_t SlabTop = 24;      ///< i64
+  static constexpr std::int64_t SavedNumThreads = 32; ///< i32
+};
+
+/// Bytes at the head of the slab reserved for per-thread bookkeeping
+/// (one u64 per possible thread) — eagerly initialized by kernel init.
+constexpr std::int64_t SlabBookkeepingBytes = 8 * MaxThreadsPerTeam;
+
+class OldRTLBuilder {
+public:
+  OldRTLBuilder() : M(std::make_unique<Module>("old_device_rtl")), B(*M) {}
+
+  std::unique_ptr<Module> run() {
+    Slab = M->createGlobal(std::string(rt::OldDataSharingSlabName),
+                           AddrSpace::Shared, rt::OldSlabBytes, 16);
+    Ctx = M->createGlobal(std::string(rt::OldTeamContextName),
+                          AddrSpace::Shared, rt::OldTeamContextBytes, 16);
+    emitInit();
+    emitDeinit();
+    emitGetThreadNum();
+    emitGetNumThreads();
+    emitWorkFnHelpers();
+    emitParallel();
+    emitEndParallel();
+    emitForStaticInit();
+    emitForStaticFini();
+    emitDistributeStaticInit();
+    emitDataSharing();
+    return std::move(M);
+  }
+
+private:
+  /// Every legacy entry point is NoInline: the optimizer must treat calls
+  /// to it as unknown (the original RTL was a pre-compiled CUDA binary).
+  Function *makeFn(std::string_view Name, Type Ret, std::vector<Type> Params) {
+    Function *F = M->createFunction(std::string(Name), Ret, std::move(Params));
+    F->addAttr(FnAttr::NoInline);
+    F->addAttr(FnAttr::Internal);
+    B.setInsertPoint(F->createBlock("entry"));
+    return F;
+  }
+
+  Value *ctxField(std::int64_t Off) { return B.gep(Ctx, Off); }
+
+  /// __old_kmpc_kernel_init: eager, unconditional setup. The main thread
+  /// initializes the *entire* per-thread bookkeeping table whether or not
+  /// any data sharing will happen — the pay-even-if-unused baseline.
+  void emitInit() {
+    Function *F = makeFn(rt::OldInitName, Type::voidTy(), {Type::i32()});
+    Value *Tid = B.threadId();
+    Value *Dim = B.blockDim();
+    Value *IsMain = B.icmpEQ(Tid, B.sub(Dim, B.i32(1)));
+    BasicBlock *Setup = F->createBlock("init.setup");
+    BasicBlock *LoopBB = F->createBlock("init.loop");
+    BasicBlock *LoopEnd = F->createBlock("init.loopend");
+    BasicBlock *Wait = F->createBlock("init.wait");
+    B.condBr(IsMain, Setup, Wait);
+
+    B.setInsertPoint(Setup);
+    B.store(B.i32(0), ctxField(CtxLayout::ParallelLevel));
+    B.store(B.sub(Dim, B.i32(1)), ctxField(CtxLayout::NumThreads));
+    B.store(B.nullPtr(), ctxField(CtxLayout::WorkFn));
+    B.store(B.nullPtr(), ctxField(CtxLayout::WorkArgs));
+    B.store(B.i64(SlabBookkeepingBytes), ctxField(CtxLayout::SlabTop));
+    B.br(LoopBB);
+
+    // for (i = 0; i < MaxThreads; ++i) slab_bookkeeping[i] = 0;
+    B.setInsertPoint(LoopBB);
+    Instruction *IV = B.phi(Type::i64());
+    B.store(B.i64(0), B.gep(Slab, B.mul(IV, B.i64(8))));
+    Value *Next = B.add(IV, B.i64(1));
+    Value *Again =
+        B.icmpSLT(Next, B.i64(static_cast<std::int64_t>(MaxThreadsPerTeam)));
+    B.condBr(Again, LoopBB, LoopEnd);
+    IV->addIncoming(B.i64(0), Setup);
+    IV->addIncoming(Next, LoopBB);
+
+    B.setInsertPoint(LoopEnd);
+    B.br(Wait);
+    B.setInsertPoint(Wait);
+    B.barrier(0);
+    B.retVoid();
+  }
+
+  void emitDeinit() {
+    makeFn(rt::OldDeinitName, Type::voidTy(), {});
+    B.store(B.nullPtr(), ctxField(CtxLayout::WorkFn));
+    B.barrier(1);
+    B.retVoid();
+  }
+
+  void emitGetThreadNum() {
+    Function *F = makeFn(rt::OldGetThreadNumName, Type::i32(), {});
+    Value *Lv = B.load(Type::i32(), ctxField(CtxLayout::ParallelLevel));
+    BasicBlock *Serial = F->createBlock("gtn.serial");
+    BasicBlock *InPar = F->createBlock("gtn.inpar");
+    B.condBr(B.icmpEQ(Lv, B.i32(0)), Serial, InPar);
+    B.setInsertPoint(Serial);
+    B.ret(B.i32(0));
+    B.setInsertPoint(InPar);
+    B.ret(B.threadId());
+  }
+
+  void emitGetNumThreads() {
+    Function *F = makeFn(rt::OldGetNumThreadsName, Type::i32(), {});
+    Value *Lv = B.load(Type::i32(), ctxField(CtxLayout::ParallelLevel));
+    BasicBlock *Serial = F->createBlock("gnt.serial");
+    BasicBlock *InPar = F->createBlock("gnt.inpar");
+    B.condBr(B.icmpEQ(Lv, B.i32(0)), Serial, InPar);
+    B.setInsertPoint(Serial);
+    B.ret(B.i32(1));
+    B.setInsertPoint(InPar);
+    B.ret(B.load(Type::i32(), ctxField(CtxLayout::NumThreads)));
+  }
+
+  void emitWorkFnHelpers() {
+    {
+      makeFn("__old_kmpc_workfn_wait", Type::ptr(), {});
+      B.barrier(1);
+      B.ret(B.load(Type::ptr(), ctxField(CtxLayout::WorkFn)));
+    }
+    {
+      makeFn("__old_kmpc_workfn_args", Type::ptr(), {});
+      B.ret(B.load(Type::ptr(), ctxField(CtxLayout::WorkArgs)));
+    }
+    {
+      makeFn("__old_kmpc_workfn_done", Type::voidTy(), {});
+      B.barrier(2);
+      B.retVoid();
+    }
+  }
+
+  /// __old_kmpc_kernel_parallel: fork. Unlike the new runtime this
+  /// re-reads and re-writes the whole context and uses an extra barrier
+  /// pair around the work publication.
+  void emitParallel() {
+    Function *F = makeFn(rt::OldParallelName, Type::voidTy(),
+                         {Type::ptr(), Type::ptr(), Type::i32()});
+    Value *Dim = B.blockDim();
+    Value *NWorkers = B.sub(Dim, B.i32(1));
+    Value *HasClause = B.cmp(CmpPred::SGT, F->arg(2), B.i32(0));
+    Value *Clamped = B.select(B.cmp(CmpPred::SLT, F->arg(2), NWorkers),
+                              F->arg(2), NWorkers);
+    Value *Size = B.select(HasClause, Clamped, NWorkers);
+    // Save/restore dance the legacy runtime performed unconditionally.
+    Value *Saved = B.load(Type::i32(), ctxField(CtxLayout::NumThreads));
+    B.store(Saved, ctxField(CtxLayout::SavedNumThreads));
+    B.store(Size, ctxField(CtxLayout::NumThreads));
+    B.store(B.i32(1), ctxField(CtxLayout::ParallelLevel));
+    B.store(F->arg(1), ctxField(CtxLayout::WorkArgs));
+    B.store(F->arg(0), ctxField(CtxLayout::WorkFn));
+    B.barrier(1); // release workers
+    B.barrier(2); // join
+    B.retVoid();
+  }
+
+  /// __old_kmpc_kernel_end_parallel: the legacy fork epilogue, a separate
+  /// opaque call with its own context traffic.
+  void emitEndParallel() {
+    makeFn(rt::OldEndParallelName, Type::voidTy(), {});
+    Value *Saved = B.load(Type::i32(), ctxField(CtxLayout::SavedNumThreads));
+    B.store(Saved, ctxField(CtxLayout::NumThreads));
+    B.store(B.i32(0), ctxField(CtxLayout::ParallelLevel));
+    B.retVoid();
+  }
+
+  /// __old_kmpc_for_static_init(plb, pub, pstride, n): blocked static
+  /// schedule returned through memory out-parameters — the ABI shape that
+  /// keeps bounds in local memory and blocks loop collapse (Section III-F
+  /// explains why the new runtime abandoned it).
+  void emitForStaticInit() {
+    Function *F = makeFn(rt::OldForStaticInitName, Type::voidTy(),
+                         {Type::ptr(), Type::ptr(), Type::ptr(), Type::i64()});
+    Value *N = F->arg(3);
+    Value *NT = B.zext(B.load(Type::i32(), ctxField(CtxLayout::NumThreads)),
+                       Type::i64());
+    Value *Tid = B.zext(B.threadId(), Type::i64());
+    Value *Chunk = B.sdiv(B.sub(B.add(N, NT), B.i64(1)), NT);
+    Value *Lb = B.mul(Tid, Chunk);
+    Value *UbRaw = B.add(Lb, Chunk);
+    Value *Ub = B.select(B.cmp(CmpPred::SLT, UbRaw, N), UbRaw, N);
+    B.store(Lb, F->arg(0));
+    B.store(Ub, F->arg(1));
+    B.store(B.i64(1), F->arg(2));
+    B.retVoid();
+  }
+
+  void emitForStaticFini() {
+    makeFn(rt::OldForStaticFiniName, Type::voidTy(), {});
+    B.barrier(3);
+    B.retVoid();
+  }
+
+  /// Combined distribute schedule across the whole league, same
+  /// memory-out-parameter ABI.
+  void emitDistributeStaticInit() {
+    Function *F = makeFn(rt::OldDistributeInitName, Type::voidTy(),
+                         {Type::ptr(), Type::ptr(), Type::ptr(), Type::i64()});
+    Value *N = F->arg(3);
+    Value *NWorkers = B.zext(
+        B.load(Type::i32(), ctxField(CtxLayout::NumThreads)), Type::i64());
+    Value *Bid = B.zext(B.blockId(), Type::i64());
+    Value *NB = B.zext(B.gridDim(), Type::i64());
+    Value *Tid = B.zext(B.threadId(), Type::i64());
+    Value *Total = B.mul(NB, NWorkers);
+    Value *Gid = B.add(B.mul(Bid, NWorkers), Tid);
+    Value *Chunk = B.sdiv(B.sub(B.add(N, Total), B.i64(1)), Total);
+    Value *Lb = B.mul(Gid, Chunk);
+    Value *UbRaw = B.add(Lb, Chunk);
+    Value *Ub = B.select(B.cmp(CmpPred::SLT, UbRaw, N), UbRaw, N);
+    B.store(Lb, F->arg(0));
+    B.store(Ub, F->arg(1));
+    B.store(B.i64(1), F->arg(2));
+    B.retVoid();
+  }
+
+  /// Data-sharing slab push/pop (variable globalization support). Requests
+  /// that do not fit the static slab spill to device global memory — the
+  /// legacy runtime's notoriously slow fallback path.
+  void emitDataSharing() {
+    {
+      Function *F = makeFn("__old_kmpc_data_sharing_push", Type::ptr(),
+                           {Type::i64()});
+      Value *Aligned =
+          B.and_(B.add(F->arg(0), B.i64(15)), B.i64(~std::int64_t{15}));
+      Value *Old = B.atomicRMW(AtomicOp::Add, ctxField(CtxLayout::SlabTop),
+                               Aligned);
+      Value *Fits = B.cmp(
+          CmpPred::ULE, B.add(Old, Aligned),
+          B.i64(static_cast<std::int64_t>(rt::OldSlabBytes)));
+      BasicBlock *SlabBB = F->createBlock("push.slab");
+      BasicBlock *HeapBB = F->createBlock("push.heap");
+      B.condBr(Fits, SlabBB, HeapBB);
+      B.setInsertPoint(SlabBB);
+      B.ret(B.gep(Slab, Old));
+      B.setInsertPoint(HeapBB);
+      B.atomicRMW(AtomicOp::Add, ctxField(CtxLayout::SlabTop),
+                  B.sub(B.i64(0), Aligned));
+      B.ret(B.mallocOp(F->arg(0)));
+    }
+    {
+      Function *F = makeFn("__old_kmpc_data_sharing_pop", Type::voidTy(),
+                           {Type::ptr(), Type::i64()});
+      Value *Tag = B.lshr(B.ptrToInt(F->arg(0)), B.i64(62));
+      Value *IsShared = B.icmpEQ(Tag, B.i64(2));
+      BasicBlock *SlabBB = F->createBlock("pop.slab");
+      BasicBlock *HeapBB = F->createBlock("pop.heap");
+      B.condBr(IsShared, SlabBB, HeapBB);
+      B.setInsertPoint(SlabBB);
+      Value *Aligned =
+          B.and_(B.add(F->arg(1), B.i64(15)), B.i64(~std::int64_t{15}));
+      B.atomicRMW(AtomicOp::Add, ctxField(CtxLayout::SlabTop),
+                  B.sub(B.i64(0), Aligned));
+      B.retVoid();
+      B.setInsertPoint(HeapBB);
+      B.freeOp(F->arg(0));
+      B.retVoid();
+    }
+  }
+
+  std::unique_ptr<Module> M;
+  IRBuilder B;
+  GlobalVariable *Slab = nullptr;
+  GlobalVariable *Ctx = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<Module> buildOldDeviceRTL() { return OldRTLBuilder().run(); }
+
+} // namespace codesign::oldrt

@@ -1,0 +1,32 @@
+//===- oldrt/OldDeviceRTL.hpp - Legacy device runtime (baseline) ----------===//
+//
+// The "Old RT (Nightly)" baseline of the paper's evaluation: a runtime in
+// the style of the original CUDA-compiled LLVM device RTL. Its defining
+// properties, mirrored here:
+//
+//  * Opaque to the optimizer: entry points carry NoInline and the optimizer
+//    treats them as unknown calls (the original was compiled by NVCC and
+//    linked as machine code, invisible to openmp-opt).
+//  * A pre-allocated data-sharing slab plus a heavyweight team context in
+//    static shared memory (the constant 2336 B in Figure 11).
+//  * Eager initialization: the kernel-init entry loops over every possible
+//    thread slot, populating bookkeeping the common case never needs —
+//    the "pay for what you don't use" problem Figure 1 contrasts against.
+//  * Memory-based work-sharing API (init/fini with lower/upper/stride
+//    out-parameters) that forces per-kernel local traffic and prevents the
+//    Figure 5 loop structure from collapsing.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <memory>
+
+#include "ir/Module.hpp"
+
+namespace codesign::oldrt {
+
+/// Generate the legacy runtime module, link-compatible with the frontend's
+/// legacy lowering path.
+std::unique_ptr<ir::Module> buildOldDeviceRTL();
+
+} // namespace codesign::oldrt

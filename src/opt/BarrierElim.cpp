@@ -1,0 +1,123 @@
+//===- opt/BarrierElim.cpp - Aligned barrier elimination (IV-D) ------------===//
+//
+// "Our barrier elimination pass detects consecutive aligned barriers in the
+//  same basic block that do not have non-thread-local side-effects in
+//  between them. During this identification process we also consider the
+//  kernel entry and exit as implicit aligned barriers."
+//
+// Following Section VII, *reads* of non-thread-local memory also block the
+// elimination: removing a barrier may change what such a load observes
+// (GridMini's memory-resident loop bound is the paper's example).
+//
+//===----------------------------------------------------------------------===//
+#include <algorithm>
+
+#include "opt/Pipeline.hpp"
+
+namespace codesign::opt {
+
+using namespace ir;
+
+namespace {
+
+/// Trace a pointer to its base allocation; true when it is a per-thread
+/// alloca (accesses through it are thread-local).
+bool isThreadLocalPointer(const Value *Ptr) {
+  for (;;) {
+    const auto *I = dynCast<Instruction>(Ptr);
+    if (!I)
+      return false;
+    if (I->opcode() == Opcode::Alloca)
+      return true;
+    if (I->opcode() == Opcode::Gep) {
+      Ptr = I->operand(0);
+      continue;
+    }
+    return false;
+  }
+}
+
+/// True when I could observe or publish cross-thread state, i.e. a barrier
+/// separating it from its neighbours is potentially meaningful.
+bool blocksBarrierMerge(const Instruction &I) {
+  switch (I.opcode()) {
+  case Opcode::Load:
+  case Opcode::Store:
+    return !isThreadLocalPointer(I.pointerOperand());
+  case Opcode::AtomicRMW:
+  case Opcode::CmpXchg:
+  case Opcode::Malloc:
+  case Opcode::Free:
+  case Opcode::Call:
+  case Opcode::Barrier: // an unaligned barrier is itself a sync point
+  case Opcode::Trap:
+    return true;
+  case Opcode::NativeOp:
+    return I.nativeFlags().ReadsMemory || I.nativeFlags().WritesMemory;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+bool runBarrierElim(Module &M, const OptOptions &Options) {
+  if (!Options.EnableBarrierElim)
+    return false;
+  bool Changed = false;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    const bool IsKernel = F->hasAttr(FnAttr::Kernel);
+    for (const auto &BB : F->blocks()) {
+      // "CleanSince": an aligned synchronization point (previous aligned
+      // barrier, or the kernel entry for the entry block) with no blocking
+      // instruction observed since.
+      bool HaveSyncPoint = IsKernel && BB.get() == F->entry();
+      std::vector<Instruction *> Dead;
+      for (std::size_t Idx = 0; Idx < BB->size(); ++Idx) {
+        Instruction *I = BB->inst(Idx);
+        if (I->opcode() == Opcode::AlignedBarrier) {
+          if (HaveSyncPoint) {
+            Dead.push_back(I); // redundant: nothing to publish since
+            Changed = true;
+          }
+          HaveSyncPoint = true;
+          continue;
+        }
+        if (I->opcode() == Opcode::Ret && IsKernel) {
+          // Kernel exit is an implicit aligned barrier: a pending aligned
+          // barrier with nothing blocking behind it is redundant. Scan
+          // backwards for such a barrier in this block.
+          break; // handled below
+        }
+        if (blocksBarrierMerge(*I))
+          HaveSyncPoint = false;
+      }
+      // Exit rule: trailing aligned barrier followed only by benign
+      // instructions up to a kernel return.
+      if (IsKernel) {
+        Instruction *T = BB->terminator();
+        if (T && T->opcode() == Opcode::Ret) {
+          for (std::size_t Idx = BB->size() - 1; Idx-- > 0;) {
+            Instruction *I = BB->inst(Idx);
+            if (I->opcode() == Opcode::AlignedBarrier) {
+              if (std::find(Dead.begin(), Dead.end(), I) == Dead.end()) {
+                Dead.push_back(I);
+                Changed = true;
+              }
+              break;
+            }
+            if (blocksBarrierMerge(*I))
+              break;
+          }
+        }
+      }
+      for (Instruction *I : Dead)
+        BB->erase(I);
+    }
+  }
+  return Changed;
+}
+
+} // namespace codesign::opt

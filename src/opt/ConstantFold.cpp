@@ -1,0 +1,496 @@
+//===- opt/ConstantFold.cpp - Constant folding and instsimplify -----------===//
+#include <cstring>
+
+#include "ir/IRBuilder.hpp"
+#include "opt/Pipeline.hpp"
+
+namespace codesign::opt {
+
+using namespace ir;
+
+namespace {
+
+/// Fold an integer binop on constants. Returns nullptr when not foldable
+/// (division by zero stays for the runtime to trap on).
+Value *foldIntBinop(Module &M, const Instruction &I, const ConstantInt *A,
+                    const ConstantInt *B) {
+  const Type Ty = I.type();
+  const std::int64_t X = A->value(), Y = B->value();
+  const std::uint64_t UX =
+      Ty.kind() == TypeKind::I32 ? (A->zext() & 0xFFFFFFFFULL) : A->zext();
+  const std::uint64_t UY =
+      Ty.kind() == TypeKind::I32 ? (B->zext() & 0xFFFFFFFFULL) : B->zext();
+  const unsigned ShMask = Ty.kind() == TypeKind::I32 ? 31 : 63;
+  std::int64_t R = 0;
+  switch (I.opcode()) {
+  case Opcode::Add:
+    R = X + Y;
+    break;
+  case Opcode::Sub:
+    R = X - Y;
+    break;
+  case Opcode::Mul:
+    R = X * Y;
+    break;
+  case Opcode::SDiv:
+    if (Y == 0)
+      return nullptr;
+    R = X / Y;
+    break;
+  case Opcode::UDiv:
+    if (UY == 0)
+      return nullptr;
+    R = static_cast<std::int64_t>(UX / UY);
+    break;
+  case Opcode::SRem:
+    if (Y == 0)
+      return nullptr;
+    R = X % Y;
+    break;
+  case Opcode::URem:
+    if (UY == 0)
+      return nullptr;
+    R = static_cast<std::int64_t>(UX % UY);
+    break;
+  case Opcode::And:
+    R = X & Y;
+    break;
+  case Opcode::Or:
+    R = X | Y;
+    break;
+  case Opcode::Xor:
+    R = X ^ Y;
+    break;
+  case Opcode::Shl:
+    R = static_cast<std::int64_t>(UX << (UY & ShMask));
+    break;
+  case Opcode::LShr:
+    R = static_cast<std::int64_t>(UX >> (UY & ShMask));
+    break;
+  case Opcode::AShr:
+    R = X >> static_cast<std::int64_t>(UY & ShMask);
+    break;
+  default:
+    return nullptr;
+  }
+  return M.constInt(Ty, R);
+}
+
+Value *foldICmpConst(Module &M, CmpPred P, const ConstantInt *A,
+                     const ConstantInt *B) {
+  const std::int64_t X = A->value(), Y = B->value();
+  const std::uint64_t UX = A->zext(), UY = B->zext();
+  bool R = false;
+  switch (P) {
+  case CmpPred::EQ:
+    R = X == Y;
+    break;
+  case CmpPred::NE:
+    R = X != Y;
+    break;
+  case CmpPred::SLT:
+    R = X < Y;
+    break;
+  case CmpPred::SLE:
+    R = X <= Y;
+    break;
+  case CmpPred::SGT:
+    R = X > Y;
+    break;
+  case CmpPred::SGE:
+    R = X >= Y;
+    break;
+  case CmpPred::ULT:
+    R = UX < UY;
+    break;
+  case CmpPred::ULE:
+    R = UX <= UY;
+    break;
+  case CmpPred::UGT:
+    R = UX > UY;
+    break;
+  case CmpPred::UGE:
+    R = UX >= UY;
+    break;
+  default:
+    return nullptr;
+  }
+  return M.constBool(R);
+}
+
+/// True when V is statically known to be a nonzero "address" (function
+/// addresses and global variables are never null).
+bool isKnownNonNullAddress(const Value *V) {
+  return V->kind() == ValueKind::Function ||
+         V->kind() == ValueKind::GlobalVariable;
+}
+
+/// Trace a pointer to (base, constant offset); base may be any Value.
+std::pair<const Value *, std::int64_t> traceConstGep(const Value *Ptr) {
+  std::int64_t Off = 0;
+  while (const auto *I = dynCast<Instruction>(Ptr)) {
+    if (I->opcode() != Opcode::Gep)
+      break;
+    const auto *C = dynCast<ConstantInt>(I->operand(1));
+    if (!C)
+      break;
+    Off += C->value();
+    Ptr = I->operand(0);
+  }
+  return {Ptr, Off};
+}
+
+/// Fold a load from a constant-initialized, constant-space global at a
+/// constant offset. This is how the runtime "reads compile-time flags":
+/// @__omp_rtl_debug_kind, the oversubscription globals (Sections III-F/G).
+Value *foldConstGlobalLoad(Module &M, const Instruction &Load) {
+  auto [Base, Off] = traceConstGep(Load.operand(0));
+  const auto *G = dynCast<GlobalVariable>(Base);
+  if (!G || !G->isConstant())
+    return nullptr;
+  const Type Ty = Load.type();
+  const unsigned Size = Ty.sizeInBytes();
+  if (Off < 0 || static_cast<std::uint64_t>(Off) + Size > G->sizeBytes())
+    return nullptr;
+  std::uint64_t Raw = 0;
+  if (!G->initializer().empty())
+    std::memcpy(&Raw, G->initializer().data() + Off, Size);
+  if (Ty.isInteger()) {
+    std::int64_t V = static_cast<std::int64_t>(Raw);
+    if (Ty.kind() == TypeKind::I32)
+      V = static_cast<std::int32_t>(Raw);
+    if (Ty.isI1())
+      V &= 1;
+    return M.constInt(Ty, V);
+  }
+  if (Ty.kind() == TypeKind::F64) {
+    double D;
+    std::memcpy(&D, &Raw, 8);
+    return M.constFP(Ty, D);
+  }
+  if (Ty.kind() == TypeKind::F32) {
+    float FV;
+    std::uint32_t Bits32 = static_cast<std::uint32_t>(Raw);
+    std::memcpy(&FV, &Bits32, 4);
+    return M.constFP(Ty, FV);
+  }
+  return nullptr; // pointer loads from initializers are not supported
+}
+
+/// Try to simplify one instruction; returns the replacement or null.
+/// Mutated is set when the instruction was rewritten in place.
+Value *simplify(Module &M, Instruction &I, bool &Mutated) {
+  const auto *CA =
+      I.numOperands() > 0 ? dynCast<ConstantInt>(I.operand(0)) : nullptr;
+  const auto *CB =
+      I.numOperands() > 1 ? dynCast<ConstantInt>(I.operand(1)) : nullptr;
+
+  switch (I.opcode()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::SDiv:
+  case Opcode::UDiv:
+  case Opcode::SRem:
+  case Opcode::URem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr: {
+    if (CA && CB)
+      return foldIntBinop(M, I, CA, CB);
+    // Identities.
+    Value *A = I.operand(0), *B = I.operand(1);
+    switch (I.opcode()) {
+    case Opcode::Add:
+      if (CB && CB->isZero())
+        return A;
+      if (CA && CA->isZero())
+        return B;
+      break;
+    case Opcode::Sub:
+      if (CB && CB->isZero())
+        return A;
+      if (A == B)
+        return M.constInt(I.type(), 0);
+      break;
+    case Opcode::Mul:
+      if (CB && CB->value() == 1)
+        return A;
+      if (CA && CA->value() == 1)
+        return B;
+      if ((CB && CB->isZero()) || (CA && CA->isZero()))
+        return M.constInt(I.type(), 0);
+      break;
+    case Opcode::And:
+      if ((CB && CB->isZero()) || (CA && CA->isZero()))
+        return M.constInt(I.type(), 0);
+      if (A == B)
+        return A;
+      break;
+    case Opcode::Or:
+      if (CB && CB->isZero())
+        return A;
+      if (CA && CA->isZero())
+        return B;
+      if (A == B)
+        return A;
+      break;
+    case Opcode::Xor:
+      if (A == B)
+        return M.constInt(I.type(), 0);
+      if (CB && CB->isZero())
+        return A;
+      break;
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr:
+      if (CB && CB->isZero())
+        return A;
+      break;
+    default:
+      break;
+    }
+    return nullptr;
+  }
+  case Opcode::ICmp: {
+    if (CA && CB)
+      return foldICmpConst(M, I.pred(), CA, CB);
+    Value *A = I.operand(0), *B = I.operand(1);
+    if (A == B) {
+      switch (I.pred()) {
+      case CmpPred::EQ:
+      case CmpPred::SLE:
+      case CmpPred::SGE:
+      case CmpPred::ULE:
+      case CmpPred::UGE:
+        return M.constBool(true);
+      case CmpPred::NE:
+      case CmpPred::SLT:
+      case CmpPred::SGT:
+      case CmpPred::ULT:
+      case CmpPred::UGT:
+        return M.constBool(false);
+      default:
+        break;
+      }
+    }
+    // ptr-as-int null checks against known-nonnull addresses.
+    auto knownNonZeroInt = [](const Value *V) {
+      const auto *P2I = dynCast<Instruction>(V);
+      return P2I && P2I->opcode() == Opcode::PtrToInt &&
+             isKnownNonNullAddress(P2I->operand(0));
+    };
+    const bool AZero = CA && CA->isZero();
+    const bool BZero = CB && CB->isZero();
+    if ((BZero && knownNonZeroInt(A)) || (AZero && knownNonZeroInt(B))) {
+      if (I.pred() == CmpPred::EQ)
+        return M.constBool(false);
+      if (I.pred() == CmpPred::NE)
+        return M.constBool(true);
+    }
+    // Direct pointer compares against null.
+    if (I.operand(0)->type().isPointer()) {
+      const bool ANull = isa<ConstantNull>(A), BNull = isa<ConstantNull>(B);
+      if ((ANull && isKnownNonNullAddress(B)) ||
+          (BNull && isKnownNonNullAddress(A))) {
+        if (I.pred() == CmpPred::EQ)
+          return M.constBool(false);
+        if (I.pred() == CmpPred::NE)
+          return M.constBool(true);
+      }
+      if (ANull && BNull)
+        return M.constBool(I.pred() == CmpPred::EQ);
+    }
+    return nullptr;
+  }
+  case Opcode::FCmp: {
+    const auto *FA = dynCast<ConstantFP>(I.operand(0));
+    const auto *FB = dynCast<ConstantFP>(I.operand(1));
+    if (!FA || !FB)
+      return nullptr;
+    const double X = FA->value(), Y = FB->value();
+    bool R = false;
+    switch (I.pred()) {
+    case CmpPred::OEQ:
+      R = X == Y;
+      break;
+    case CmpPred::ONE:
+      R = X != Y;
+      break;
+    case CmpPred::OLT:
+      R = X < Y;
+      break;
+    case CmpPred::OLE:
+      R = X <= Y;
+      break;
+    case CmpPred::OGT:
+      R = X > Y;
+      break;
+    case CmpPred::OGE:
+      R = X >= Y;
+      break;
+    default:
+      return nullptr;
+    }
+    return M.constBool(R);
+  }
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv: {
+    const auto *FA = dynCast<ConstantFP>(I.operand(0));
+    const auto *FB = dynCast<ConstantFP>(I.operand(1));
+    if (!FA || !FB)
+      return nullptr;
+    const double X = FA->value(), Y = FB->value();
+    double R = 0;
+    switch (I.opcode()) {
+    case Opcode::FAdd:
+      R = X + Y;
+      break;
+    case Opcode::FSub:
+      R = X - Y;
+      break;
+    case Opcode::FMul:
+      R = X * Y;
+      break;
+    case Opcode::FDiv:
+      R = X / Y;
+      break;
+    default:
+      break;
+    }
+    return M.constFP(I.type(), R);
+  }
+  case Opcode::Select: {
+    if (CA)
+      return CA->isZero() ? I.operand(2) : I.operand(1);
+    if (I.operand(1) == I.operand(2))
+      return I.operand(1);
+    return nullptr;
+  }
+  case Opcode::ZExt: {
+    if (CA) {
+      std::uint64_t Raw = CA->zext();
+      switch (I.operand(0)->type().kind()) {
+      case TypeKind::I1:
+        Raw &= 1;
+        break;
+      case TypeKind::I32:
+        Raw &= 0xFFFFFFFFULL;
+        break;
+      default:
+        break;
+      }
+      return M.constInt(I.type(), static_cast<std::int64_t>(Raw));
+    }
+    return nullptr;
+  }
+  case Opcode::SExt:
+  case Opcode::Trunc: {
+    if (CA)
+      return M.constInt(I.type(), CA->value());
+    return nullptr;
+  }
+  case Opcode::SIToFP: {
+    if (CA)
+      return M.constFP(I.type(), static_cast<double>(CA->value()));
+    return nullptr;
+  }
+  case Opcode::FPToSI: {
+    if (const auto *FA = dynCast<ConstantFP>(I.operand(0)))
+      return M.constInt(I.type(), static_cast<std::int64_t>(FA->value()));
+    return nullptr;
+  }
+  case Opcode::PtrToInt: {
+    if (isa<ConstantNull>(I.operand(0)))
+      return M.constI64(0);
+    return nullptr;
+  }
+  case Opcode::Gep: {
+    if (CB && CB->isZero())
+      return I.operand(0);
+    // Collapse gep-of-gep with constant offsets.
+    const auto *BaseGep = dynCast<Instruction>(I.operand(0));
+    if (CB && BaseGep && BaseGep->opcode() == Opcode::Gep) {
+      if (const auto *InnerOff = dynCast<ConstantInt>(BaseGep->operand(1))) {
+        auto *NewI = const_cast<Instruction *>(&I);
+        NewI->setOperand(0, BaseGep->operand(0));
+        NewI->setOperand(
+            1, M.constI64(InnerOff->value() + CB->value()));
+        Mutated = true;
+        return nullptr;
+      }
+    }
+    return nullptr;
+  }
+  case Opcode::Phi: {
+    // All incomings identical (ignoring undef) => that value.
+    Value *Common = nullptr;
+    for (unsigned OpIdx = 0; OpIdx < I.numOperands(); ++OpIdx) {
+      Value *V = I.operand(OpIdx);
+      if (isa<UndefValue>(V) || V == &I)
+        continue;
+      if (Common && Common != V)
+        return nullptr;
+      Common = V;
+    }
+    // A def must dominate its uses; incoming values of a phi dominate the
+    // incoming edges, which is not enough in general. It is safe when the
+    // common value is a constant, argument, global or function — or when
+    // the phi has a single real incoming that dominates the block (we
+    // conservatively require non-instruction values here; SimplifyCFG's
+    // single-predecessor merge handles the rest).
+    if (Common && !isa<Instruction>(Common))
+      return Common;
+    // Single real incoming instruction: safe when it is the only incoming.
+    if (Common && I.numOperands() == 1)
+      return Common;
+    return nullptr;
+  }
+  case Opcode::Load:
+    return foldConstGlobalLoad(M, I);
+  default:
+    return nullptr;
+  }
+}
+
+} // namespace
+
+bool runConstantFold(Module &M) {
+  bool Changed = false;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    bool LocalChanged = true;
+    while (LocalChanged) {
+      LocalChanged = false;
+      for (const auto &BB : F->blocks()) {
+        // Index-based iteration: simplification never inserts, only
+        // replaces uses; erasure is left to DCE.
+        for (std::size_t Idx = 0; Idx < BB->size(); ++Idx) {
+          Instruction *I = BB->inst(Idx);
+          if (I->type().isVoid() || I->useEmpty())
+            continue;
+          bool Mutated = false;
+          Value *R = simplify(M, *I, Mutated);
+          if (Mutated) {
+            LocalChanged = true;
+            Changed = true;
+          }
+          if (R && R != I) {
+            I->replaceAllUsesWith(R);
+            LocalChanged = true;
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+  return Changed;
+}
+
+} // namespace codesign::opt

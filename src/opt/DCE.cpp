@@ -1,0 +1,119 @@
+//===- opt/DCE.cpp - Dead code, functions and globals ----------------------===//
+//
+// The payoff pass of the paper's co-design: once value propagation removes
+// every load of the runtime state and DSE removes the stores, DCE deletes
+// the state itself — dead internal functions (unused runtime features,
+// Figure 1's "statically pruned") and dead shared globals (the "SMem"
+// savings in Figure 11).
+//
+//===----------------------------------------------------------------------===//
+#include "opt/Pipeline.hpp"
+
+namespace codesign::opt {
+
+using namespace ir;
+
+namespace {
+
+/// True when the instruction can be deleted once its result is unused.
+bool isRemovableWhenUnused(const Instruction &I, const Module &M) {
+  (void)M;
+  if (I.isTerminator())
+    return false;
+  switch (I.opcode()) {
+  case Opcode::Assume:
+  case Opcode::AssertFail:
+    // Spent checks: a constant-true condition proves nothing and checks
+    // nothing; the instruction is pure bookkeeping.
+    if (const auto *C = dynCast<ConstantInt>(I.operand(0)))
+      return !C->isZero();
+    return false;
+  case Opcode::Call: {
+    const Function *Callee = I.calledFunction();
+    return Callee && Callee->hasAttr(FnAttr::Pure) && I.useEmpty();
+  }
+  default:
+    return !I.hasSideEffects() && I.useEmpty();
+  }
+}
+
+bool removeDeadInstructions(Function &F, Module &M) {
+  bool Changed = false;
+  bool LocalChanged = true;
+  while (LocalChanged) {
+    LocalChanged = false;
+    for (const auto &BB : F.blocks()) {
+      for (std::size_t Idx = BB->size(); Idx-- > 0;) {
+        Instruction *I = BB->inst(Idx);
+        if (isRemovableWhenUnused(*I, M) && I->useEmpty()) {
+          BB->erase(I);
+          LocalChanged = true;
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool runDCE(Module &M) {
+  bool Changed = false;
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      Changed |= removeDeadInstructions(*F, M);
+
+  // Dead internal functions: never-referenced runtime features. Iterate —
+  // removing one body can orphan its callees.
+  bool FnChanged = true;
+  while (FnChanged) {
+    FnChanged = false;
+    for (const auto &F : M.functions()) {
+      if (F->hasAttr(FnAttr::Kernel))
+        continue;
+      if (!F->hasAttr(FnAttr::Internal) && !F->isDeclaration())
+        continue; // externally visible definitions must stay
+      if (!F->asValue()->useEmpty())
+        continue;
+      M.eraseFunction(F.get());
+      FnChanged = true;
+      Changed = true;
+      break; // container mutated; rescan
+    }
+  }
+
+  // Dead internal globals: eliminated runtime state. This is where the
+  // static shared-memory footprint drops (Figure 11).
+  bool GChanged = true;
+  while (GChanged) {
+    GChanged = false;
+    for (const auto &G : M.globals()) {
+      if (!G->isInternal() || !G->useEmpty())
+        continue;
+      M.eraseGlobal(G.get());
+      GChanged = true;
+      Changed = true;
+      break;
+    }
+  }
+  return Changed;
+}
+
+bool runStripAssumes(Module &M) {
+  bool Changed = false;
+  for (const auto &F : M.functions()) {
+    for (const auto &BB : F->blocks()) {
+      for (std::size_t Idx = BB->size(); Idx-- > 0;) {
+        Instruction *I = BB->inst(Idx);
+        if (I->opcode() == Opcode::Assume) {
+          BB->erase(I);
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Changed;
+}
+
+} // namespace codesign::opt

@@ -1,0 +1,140 @@
+//===- opt/Inliner.cpp - AlwaysInline inlining ------------------------------===//
+//
+// The new device runtime ships every entry point as AlwaysInline IR
+// (Section II-B: "linked into the user code as an LLVM bytecode library and
+// then optimized together with the user application"); this pass dissolves
+// those calls into the kernel so the memory passes can see the state.
+// Indirect calls need no separate promotion step: once value propagation
+// replaces a loaded function pointer with the function itself, the call's
+// callee operand *is* a Function and the inliner picks it up.
+//
+// The legacy runtime's NoInline entry points are never touched — that is
+// what makes it the opaque baseline.
+//
+//===----------------------------------------------------------------------===//
+#include "ir/Clone.hpp"
+#include "opt/Pipeline.hpp"
+
+namespace codesign::opt {
+
+using namespace ir;
+
+namespace {
+
+/// Inline one call site. The call must target Callee, which has a body.
+void inlineCall(Function &Caller, Instruction *Call, Function &Callee,
+                unsigned CloneId) {
+  BasicBlock *BB = Call->parent();
+  const std::size_t CallPos = BB->indexOf(Call);
+
+  // 1. Split: move everything after the call into a continuation block.
+  BasicBlock *Tail = Caller.createBlock(BB->name() + ".cont");
+  while (BB->size() > CallPos + 1) {
+    std::unique_ptr<Instruction> Owned = BB->detach(BB->inst(CallPos + 1));
+    Tail->append(std::move(Owned));
+  }
+  // Successor phis that named BB as predecessor now come from Tail.
+  for (BasicBlock *S : Tail->successors())
+    for (std::size_t I = 0; I < S->size(); ++I) {
+      Instruction *Phi = S->inst(I);
+      if (Phi->opcode() != Opcode::Phi)
+        break;
+      for (unsigned K = 0; K < Phi->numBlockOperands(); ++K)
+        if (Phi->blockOperand(K) == BB)
+          Phi->setBlockOperand(K, Tail);
+    }
+
+  // 2. Clone the callee body with arguments bound to the call operands.
+  ValueMap VMap;
+  for (unsigned A = 0; A < Callee.numArgs(); ++A)
+    VMap[Callee.arg(A)] = Call->callArg(A);
+  ClonedBody Body = cloneBody(Callee, Caller, VMap, identityResolver(),
+                              ".i" + std::to_string(CloneId));
+
+  // 3. Wire up the return value(s).
+  if (!Call->type().isVoid()) {
+    if (Body.Rets.size() == 1) {
+      Call->replaceAllUsesWith(Body.Rets[0]->operand(0));
+    } else {
+      auto Phi = std::make_unique<Instruction>(Opcode::Phi, Call->type());
+      Instruction *PhiPtr = Tail->insertAt(0, std::move(Phi));
+      for (Instruction *Ret : Body.Rets)
+        PhiPtr->addIncoming(Ret->operand(0), Ret->parent());
+      Call->replaceAllUsesWith(PhiPtr);
+    }
+  }
+
+  // 4. Rets become branches to the continuation.
+  for (Instruction *Ret : Body.Rets) {
+    BasicBlock *RetBB = Ret->parent();
+    Ret->dropOperands();
+    RetBB->erase(Ret);
+    auto Br = std::make_unique<Instruction>(Opcode::Br, Type::voidTy());
+    Br->addBlockOperand(Tail);
+    RetBB->append(std::move(Br));
+  }
+
+  // 5. The original block branches into the cloned entry; the call dies.
+  BB->erase(Call);
+  auto Br = std::make_unique<Instruction>(Opcode::Br, Type::voidTy());
+  Br->addBlockOperand(Body.Entry);
+  BB->append(std::move(Br));
+}
+
+/// True when the call site should be inlined.
+bool shouldInline(const Instruction &Call, const Function &Caller) {
+  const Function *Callee = Call.calledFunction();
+  if (!Callee || Callee->isDeclaration() || Callee == &Caller)
+    return false;
+  if (Callee->hasAttr(FnAttr::NoInline))
+    return false;
+  if (!Callee->hasAttr(FnAttr::AlwaysInline))
+    return false;
+  // Signature sanity: a propagated function pointer could mismatch; leave
+  // such calls for the runtime to trap on.
+  if (Call.numCallArgs() != Callee->numArgs())
+    return false;
+  if (Call.type() != Callee->returnType())
+    return false;
+  return true;
+}
+
+} // namespace
+
+bool runInliner(Module &M) {
+  bool Changed = false;
+  unsigned CloneId = 0;
+  // Snapshot: inlining adds blocks, not functions.
+  std::vector<Function *> Funcs;
+  for (const auto &F : M.functions())
+    Funcs.push_back(F.get());
+
+  for (Function *F : Funcs) {
+    if (F->isDeclaration())
+      continue;
+    constexpr unsigned MaxInlinesPerFunction = 4096;
+    unsigned Budget = MaxInlinesPerFunction;
+    bool FoundOne = true;
+    while (FoundOne && Budget > 0) {
+      FoundOne = false;
+      for (const auto &BB : F->blocks()) {
+        for (std::size_t Idx = 0; Idx < BB->size(); ++Idx) {
+          Instruction *I = BB->inst(Idx);
+          if (I->opcode() != Opcode::Call || !shouldInline(*I, *F))
+            continue;
+          inlineCall(*F, I, *I->calledFunction(), CloneId++);
+          Changed = true;
+          FoundOne = true;
+          --Budget;
+          break; // block structure changed; rescan the function
+        }
+        if (FoundOne)
+          break;
+      }
+    }
+    CODESIGN_ASSERT(Budget > 0, "inliner budget exhausted (recursive IR?)");
+  }
+  return Changed;
+}
+
+} // namespace codesign::opt

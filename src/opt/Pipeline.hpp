@@ -1,0 +1,103 @@
+//===- opt/Pipeline.hpp - The openmp-opt pipeline ---------------------------===//
+//
+// Pass toggles map 1:1 to the paper's Section IV structure so the Section
+// V-C ablation benches can disable one optimization at a time:
+//
+//   EnableFieldSensitiveProp    — IV-B1 (master switch; disabling it disables
+//                                 all of IV-B, exactly as the paper notes)
+//   EnableInterprocDominance    — IV-B2 (without it, forwarding only works
+//                                 within a single basic block)
+//   EnableAssumedMemoryContent  — IV-B3 (facts from assumes after broadcasts)
+//   EnableInvariantProp         — IV-B4 (without it only literal constants
+//                                 propagate through memory)
+//   EnableAlignedExecReasoning  — IV-C  (without it, barriers clobber)
+//   EnableBarrierElim           — IV-D
+//   EnableSPMDization           — IV-A3
+//   EnableGlobalizationElim     — IV-A2
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include "ir/Module.hpp"
+#include "opt/Remark.hpp"
+
+namespace codesign::opt {
+
+/// Pipeline configuration (see file header for the paper mapping).
+struct OptOptions {
+  bool EnableInlining = true;
+  bool EnableSPMDization = true;
+  bool EnableGlobalizationElim = true;
+  bool EnableFieldSensitiveProp = true;
+  bool EnableInterprocDominance = true;
+  bool EnableAssumedMemoryContent = true;
+  bool EnableInvariantProp = true;
+  bool EnableAlignedExecReasoning = true;
+  bool EnableBarrierElim = true;
+  /// Keep assume instructions in the binary so debug executions verify them
+  /// (paper Section III-G); release pipelines strip them once consumed.
+  bool KeepAssumes = false;
+  /// Upper bound on fixpoint rounds.
+  int MaxFixpointRounds = 10;
+  /// Optional sink for passed/missed remarks.
+  RemarkCollector *Remarks = nullptr;
+
+  /// The "nightly" pipeline the paper compares against: the new runtime is
+  /// in place but none of this paper's optimizations are (only inlining and
+  /// generic cleanup).
+  static OptOptions nightly() {
+    OptOptions O;
+    O.EnableSPMDization = false;
+    O.EnableGlobalizationElim = false;
+    O.EnableFieldSensitiveProp = false;
+    O.EnableInterprocDominance = false;
+    O.EnableAssumedMemoryContent = false;
+    O.EnableInvariantProp = false;
+    O.EnableAlignedExecReasoning = false;
+    O.EnableBarrierElim = false;
+    return O;
+  }
+
+  /// Everything off (O0): codegen output runs as-is.
+  static OptOptions none() {
+    OptOptions O = nightly();
+    O.EnableInlining = false;
+    O.KeepAssumes = true;
+    return O;
+  }
+};
+
+/// Run the full pipeline in place. Returns true when anything changed.
+bool runPipeline(ir::Module &M, const OptOptions &Options = {});
+
+// Individual passes (exposed for unit tests; runPipeline sequences them).
+
+/// Constant folding + instruction simplification + loads from constant
+/// globals. Returns true on change.
+bool runConstantFold(ir::Module &M);
+/// CFG cleanup: fold constant branches, merge trivial blocks, drop
+/// unreachable blocks, simplify single-incoming phis.
+bool runSimplifyCFG(ir::Module &M);
+/// Dead code: unused pure instructions, spent assumes/asserts, dead
+/// internal functions, dead globals.
+bool runDCE(ir::Module &M);
+/// Inline AlwaysInline callees (direct calls only; indirect calls become
+/// direct when value propagation replaces the callee with a function).
+bool runInliner(ir::Module &M);
+/// The Section IV-B conditional value propagation (load forwarding).
+bool runLoadForwarding(ir::Module &M, const OptOptions &Options);
+/// Dead-store elimination on analyzable objects (enables the SMem wins).
+bool runDeadStoreElim(ir::Module &M, const OptOptions &Options);
+/// Section IV-A3 SPMDization of eligible generic kernels.
+bool runSPMDization(ir::Module &M, const OptOptions &Options);
+/// Section IV-A2 globalization elimination (alloc_shared demotion).
+/// AllowTeamScratch enables the leader-guarded-to-static-shared rewrite,
+/// which is only safe before inlining dissolves the broadcast helper.
+bool runGlobalizationElim(ir::Module &M, const OptOptions &Options,
+                          bool AllowTeamScratch);
+/// Section IV-D aligned-barrier elimination.
+bool runBarrierElim(ir::Module &M, const OptOptions &Options);
+/// Remove every Assume instruction (release builds, once consumed).
+bool runStripAssumes(ir::Module &M);
+
+} // namespace codesign::opt

@@ -1,0 +1,77 @@
+//===- opt/PipelineRun.cpp - Pass sequencing --------------------------------===//
+//
+// Mirrors openmp-opt's position in the LLVM pipeline (Section IV: "enabled
+// by default since LLVM 12 and runs multiple times"): structural passes
+// first (SPMDization while the runtime calls are still visible,
+// globalization while the broadcast helper still exists), then inlining,
+// then an iterate-to-fixpoint loop of folding, propagation and cleanup,
+// and finally assume-stripping and barrier elimination.
+//
+//===----------------------------------------------------------------------===//
+#include "opt/Pipeline.hpp"
+
+namespace codesign::opt {
+
+bool runPipeline(ir::Module &M, const OptOptions &Options) {
+  bool Changed = false;
+
+  // Structural phase (pre-inlining).
+  Changed |= runSPMDization(M, Options);
+  Changed |= runGlobalizationElim(M, Options, /*AllowTeamScratch=*/true);
+
+  if (Options.EnableInlining)
+    Changed |= runInliner(M);
+
+  // Fixpoint phase.
+  for (int Round = 0; Round < Options.MaxFixpointRounds; ++Round) {
+    bool RoundChanged = false;
+    RoundChanged |= runConstantFold(M);
+    RoundChanged |= runSimplifyCFG(M);
+    RoundChanged |= runLoadForwarding(M, Options);
+    RoundChanged |= runDeadStoreElim(M, Options);
+    RoundChanged |= runGlobalizationElim(M, Options,
+                                         /*AllowTeamScratch=*/false);
+    RoundChanged |= runDCE(M);
+    if (Options.EnableInlining)
+      RoundChanged |= runInliner(M); // indirect calls promoted above
+    Changed |= RoundChanged;
+    if (!RoundChanged)
+      break;
+  }
+
+  // Release builds strip the (now consumed) assumptions, which frees the
+  // loads feeding them and, transitively, the runtime state they read.
+  if (!Options.KeepAssumes) {
+    bool StripChanged = runStripAssumes(M);
+    Changed |= StripChanged;
+    if (StripChanged) {
+      for (int Round = 0; Round < 4; ++Round) {
+        bool RoundChanged = false;
+        RoundChanged |= runConstantFold(M);
+        RoundChanged |= runSimplifyCFG(M);
+        RoundChanged |= runDeadStoreElim(M, Options);
+        RoundChanged |= runDCE(M);
+        Changed |= RoundChanged;
+        if (!RoundChanged)
+          break;
+      }
+    }
+  }
+
+  // Synchronization cleanup now that dead state no longer sits between
+  // barriers (Section IV-D). Alternate with CFG simplification: merging
+  // blocks brings barriers next to each other (and next to the kernel
+  // entry/exit), exposing more eliminations.
+  for (int Round = 0; Round < 4; ++Round) {
+    bool RoundChanged = false;
+    RoundChanged |= runBarrierElim(M, Options);
+    RoundChanged |= runSimplifyCFG(M);
+    RoundChanged |= runDCE(M);
+    Changed |= RoundChanged;
+    if (!RoundChanged)
+      break;
+  }
+  return Changed;
+}
+
+} // namespace codesign::opt

@@ -1,0 +1,57 @@
+//===- opt/Remark.hpp - Optimization remarks -------------------------------===//
+//
+// The paper provides `-Rpass-missed=openmp-opt` / `-Rpass-analysis=openmp-opt`
+// diagnostics so users can see why a kernel kept its state machine or its
+// data-sharing stack (Section VII). This is the equivalent channel.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace codesign::opt {
+
+/// Severity/category of a remark.
+enum class RemarkKind {
+  Passed,   ///< an optimization fired
+  Missed,   ///< an optimization was applicable in principle but blocked
+  Analysis, ///< supplementary information
+};
+
+/// One diagnostic from a pass.
+struct Remark {
+  RemarkKind Kind = RemarkKind::Analysis;
+  std::string Pass;     ///< e.g. "spmdization"
+  std::string Function; ///< enclosing function (usually the kernel)
+  std::string Message;
+};
+
+/// Collects remarks across a pipeline run.
+class RemarkCollector {
+public:
+  void add(RemarkKind K, std::string Pass, std::string Function,
+           std::string Message) {
+    Remarks.push_back(
+        {K, std::move(Pass), std::move(Function), std::move(Message)});
+  }
+
+  [[nodiscard]] const std::vector<Remark> &remarks() const { return Remarks; }
+
+  /// All remarks of the given kind from the given pass ("" = any pass).
+  [[nodiscard]] std::vector<Remark> filtered(RemarkKind K,
+                                             const std::string &Pass = {}) const {
+    std::vector<Remark> Out;
+    for (const Remark &R : Remarks)
+      if (R.Kind == K && (Pass.empty() || R.Pass == Pass))
+        Out.push_back(R);
+    return Out;
+  }
+
+  void clear() { Remarks.clear(); }
+
+private:
+  std::vector<Remark> Remarks;
+};
+
+} // namespace codesign::opt

@@ -1,0 +1,162 @@
+//===- opt/SimplifyCFG.cpp - CFG cleanup ------------------------------------===//
+//
+// Folds constant conditional branches (the mechanism by which the
+// compile-time configuration globals prune whole features, Figure 1),
+// removes unreachable blocks, merges straight-line block pairs, and
+// simplifies degenerate phis.
+//
+//===----------------------------------------------------------------------===//
+#include <set>
+
+#include "opt/Pipeline.hpp"
+
+namespace codesign::opt {
+
+using namespace ir;
+
+namespace {
+
+bool foldConstantBranches(Function &F) {
+  bool Changed = false;
+  for (const auto &BB : F.blocks()) {
+    Instruction *T = BB->terminator();
+    if (!T || T->opcode() != Opcode::CondBr)
+      continue;
+    BasicBlock *Kept = nullptr;
+    BasicBlock *Dropped = nullptr;
+    if (const auto *C = dynCast<ConstantInt>(T->operand(0))) {
+      Kept = T->blockOperand(C->isZero() ? 1 : 0);
+      Dropped = T->blockOperand(C->isZero() ? 0 : 1);
+    } else if (T->blockOperand(0) == T->blockOperand(1)) {
+      Kept = T->blockOperand(0);
+    } else {
+      continue;
+    }
+    if (Dropped && Dropped != Kept)
+      for (std::size_t I = 0; I < Dropped->size(); ++I) {
+        Instruction *Phi = Dropped->inst(I);
+        if (Phi->opcode() != Opcode::Phi)
+          break;
+        Phi->removeIncoming(BB.get());
+      }
+    BasicBlock *Parent = T->parent();
+    Parent->erase(T);
+    auto Br = std::make_unique<Instruction>(Opcode::Br, Type::voidTy());
+    Br->addBlockOperand(Kept);
+    Parent->append(std::move(Br));
+    Changed = true;
+  }
+  return Changed;
+}
+
+bool removeUnreachableBlocks(Function &F) {
+  std::set<const BasicBlock *> Reachable;
+  std::vector<const BasicBlock *> Work{F.entry()};
+  while (!Work.empty()) {
+    const BasicBlock *BB = Work.back();
+    Work.pop_back();
+    if (!Reachable.insert(BB).second)
+      continue;
+    for (BasicBlock *S : BB->successors())
+      Work.push_back(S);
+  }
+  std::vector<BasicBlock *> Dead;
+  for (const auto &BB : F.blocks())
+    if (!Reachable.count(BB.get()))
+      Dead.push_back(BB.get());
+  if (Dead.empty())
+    return false;
+  // Detach phi edges from dead predecessors first.
+  for (BasicBlock *D : Dead)
+    for (BasicBlock *S : D->successors())
+      if (Reachable.count(S))
+        for (std::size_t I = 0; I < S->size(); ++I) {
+          Instruction *Phi = S->inst(I);
+          if (Phi->opcode() != Opcode::Phi)
+            break;
+          Phi->removeIncoming(D);
+        }
+  // Dead blocks may reference each other's values and live values; values
+  // inside them cannot be referenced FROM live code (SSA dominance).
+  // Drop all their operand references before destroying any of them.
+  for (BasicBlock *D : Dead)
+    for (const auto &I : D->instructions())
+      I->dropOperands();
+  for (BasicBlock *D : Dead)
+    F.eraseBlock(D);
+  return true;
+}
+
+/// Merge B into its single predecessor A when A's terminator is an
+/// unconditional branch to B and B has no other predecessors.
+bool mergeStraightLinePairs(Function &F) {
+  bool Changed = false;
+  bool LocalChanged = true;
+  while (LocalChanged) {
+    LocalChanged = false;
+    for (const auto &BBPtr : F.blocks()) {
+      BasicBlock *A = BBPtr.get();
+      Instruction *T = A->terminator();
+      if (!T || T->opcode() != Opcode::Br)
+        continue;
+      BasicBlock *B = T->blockOperand(0);
+      if (B == A || B == F.entry())
+        continue;
+      std::vector<BasicBlock *> Preds = B->predecessors();
+      if (Preds.size() != 1 || Preds[0] != A)
+        continue;
+      // Resolve B's phis: single predecessor means each phi is its single
+      // incoming value.
+      while (!B->empty() && B->inst(0)->opcode() == Opcode::Phi) {
+        Instruction *Phi = B->inst(0);
+        Value *In = Phi->incomingFor(A);
+        CODESIGN_ASSERT(In, "phi without incoming for single pred");
+        CODESIGN_ASSERT(In != Phi, "self-referential phi in merge");
+        Phi->replaceAllUsesWith(In);
+        B->erase(Phi);
+      }
+      // Remove A's terminator, splice B's instructions into A.
+      A->erase(T);
+      while (!B->empty()) {
+        std::unique_ptr<Instruction> Owned = B->detach(B->inst(0));
+        A->append(std::move(Owned));
+      }
+      // Successors of (old) B now have A as predecessor: update their phis.
+      for (BasicBlock *S : A->successors())
+        for (std::size_t I = 0; I < S->size(); ++I) {
+          Instruction *Phi = S->inst(I);
+          if (Phi->opcode() != Opcode::Phi)
+            break;
+          for (unsigned K = 0; K < Phi->numBlockOperands(); ++K)
+            if (Phi->blockOperand(K) == B)
+              Phi->setBlockOperand(K, A);
+        }
+      F.eraseBlock(B);
+      Changed = true;
+      LocalChanged = true;
+      break; // block list mutated; restart the scan
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool runSimplifyCFG(Module &M) {
+  bool Changed = false;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    bool LocalChanged = true;
+    while (LocalChanged) {
+      LocalChanged = false;
+      LocalChanged |= foldConstantBranches(*F);
+      LocalChanged |= removeUnreachableBlocks(*F);
+      LocalChanged |= mergeStraightLinePairs(*F);
+      Changed |= LocalChanged;
+    }
+  }
+  return Changed;
+}
+
+} // namespace codesign::opt

@@ -1,0 +1,19 @@
+#include "support/Error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace codesign {
+
+void fatalError(std::string_view Msg, const char *File, int Line) {
+  if (File)
+    std::fprintf(stderr, "codesign fatal error (%s:%d): %.*s\n", File, Line,
+                 static_cast<int>(Msg.size()), Msg.data());
+  else
+    std::fprintf(stderr, "codesign fatal error: %.*s\n",
+                 static_cast<int>(Msg.size()), Msg.data());
+  std::fflush(stderr);
+  std::abort();
+}
+
+} // namespace codesign

@@ -1,0 +1,112 @@
+//===- support/Error.hpp - Error handling primitives ---------------------===//
+//
+// Part of the omp-gpu-codesign project: a reproduction of "Co-Designing an
+// OpenMP GPU Runtime and Optimizations for Near-Zero Overhead Execution"
+// (Doerfert et al., IPDPS 2022).
+//
+// Error-handling policy (following the C++ Core Guidelines):
+//  * Programming errors (broken invariants) abort via CODESIGN_ASSERT /
+//    fatalError with a diagnostic. They are never recoverable.
+//  * Recoverable conditions (bad user input to the frontend, verifier
+//    failures on user-constructed IR, resource exhaustion in the virtual
+//    GPU) are reported via Expected<T> so callers must inspect them.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace codesign {
+
+/// Print a diagnostic message to stderr and abort. Used for unrecoverable
+/// internal errors (broken invariants, impossible states).
+[[noreturn]] void fatalError(std::string_view Msg, const char *File = nullptr,
+                             int Line = 0);
+
+/// Assertion macro that stays enabled in all build types. The simulator is a
+/// correctness tool; silently continuing past a broken invariant would
+/// invalidate every measurement downstream, so we always check.
+#define CODESIGN_ASSERT(Cond, Msg)                                            \
+  do {                                                                        \
+    if (!(Cond))                                                              \
+      ::codesign::fatalError((Msg), __FILE__, __LINE__);                      \
+  } while (false)
+
+/// Marks a code path that is unreachable by construction.
+#define CODESIGN_UNREACHABLE(Msg)                                             \
+  ::codesign::fatalError("unreachable: " Msg, __FILE__, __LINE__)
+
+/// A recoverable error with a human-readable message. Deliberately small:
+/// the project does not need error codes, only actionable text.
+class Error {
+public:
+  Error() = default;
+  explicit Error(std::string Msg) : Msg(std::move(Msg)) {}
+
+  /// The diagnostic text for this error.
+  [[nodiscard]] const std::string &message() const { return Msg; }
+
+private:
+  std::string Msg;
+};
+
+/// Expected<T> holds either a value of type T or an Error. It is the return
+/// type of every fallible operation with a meaningful result. A default
+/// moved-from state is not observable through the public interface.
+template <typename T> class Expected {
+public:
+  /// Construct from a value (success).
+  Expected(T Value) : Value(std::move(Value)) {}
+  /// Construct from an error (failure).
+  Expected(Error E) : Err(std::move(E)) {}
+
+  /// True when a value is present.
+  [[nodiscard]] bool hasValue() const { return Value.has_value(); }
+  /// True when a value is present (bool conversion for `if (Result)`).
+  explicit operator bool() const { return hasValue(); }
+
+  /// Access the contained value. Precondition: hasValue().
+  [[nodiscard]] T &value() {
+    CODESIGN_ASSERT(hasValue(), "Expected<T>::value() on error state");
+    return *Value;
+  }
+  /// Access the contained value. Precondition: hasValue().
+  [[nodiscard]] const T &value() const {
+    CODESIGN_ASSERT(hasValue(), "Expected<T>::value() on error state");
+    return *Value;
+  }
+  /// Move the contained value out. Precondition: hasValue().
+  [[nodiscard]] T takeValue() {
+    CODESIGN_ASSERT(hasValue(), "Expected<T>::takeValue() on error state");
+    return std::move(*Value);
+  }
+
+  /// Access the contained error. Precondition: !hasValue().
+  [[nodiscard]] const Error &error() const {
+    CODESIGN_ASSERT(!hasValue(), "Expected<T>::error() on value state");
+    return Err;
+  }
+
+  /// Dereference sugar so Expected can be used like a pointer to T.
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+/// Build an Error from printf-less concatenation of parts; convenience for
+/// the common `return makeError("bad thing: ", Name)` pattern.
+template <typename... Parts> Error makeError(Parts &&...P) {
+  std::string Msg;
+  (Msg.append(std::string_view(P)), ...);
+  return Error(std::move(Msg));
+}
+
+} // namespace codesign

@@ -1,0 +1,40 @@
+#include "support/Logging.hpp"
+
+#include <cstdio>
+
+namespace codesign {
+
+namespace {
+LogLevel GlobalLevel = LogLevel::Warn;
+
+const char *levelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Trace:
+    return "trace";
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Err:
+    return "error";
+  }
+  return "?";
+}
+} // namespace
+
+void Logger::setLevel(LogLevel L) { GlobalLevel = L; }
+
+LogLevel Logger::level() { return GlobalLevel; }
+
+bool Logger::enabled(LogLevel L) {
+  return static_cast<int>(L) >= static_cast<int>(GlobalLevel);
+}
+
+void Logger::write(LogLevel L, std::string_view Msg) {
+  std::fprintf(stderr, "[%s] %.*s\n", levelName(L),
+               static_cast<int>(Msg.size()), Msg.data());
+}
+
+} // namespace codesign

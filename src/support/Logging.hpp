@@ -1,0 +1,60 @@
+//===- support/Logging.hpp - Leveled logging ------------------------------===//
+//
+// Minimal leveled logging for the simulator and optimizer. The optimizer's
+// "remarks" channel (mirroring -Rpass-missed=openmp-opt from the paper) is
+// layered on top of this in opt/Remark.hpp.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace codesign {
+
+/// Severity levels, ordered. Messages below the global threshold are dropped.
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Err = 4 };
+
+/// Global logging configuration. Not thread-safe by design: the simulator is
+/// deterministic and single-threaded on the host side; tests set the level
+/// once up front.
+class Logger {
+public:
+  /// Set the minimum level that will be emitted.
+  static void setLevel(LogLevel L);
+  /// Current minimum level.
+  static LogLevel level();
+  /// True when messages at level L would be emitted.
+  static bool enabled(LogLevel L);
+  /// Emit one message at level L to stderr.
+  static void write(LogLevel L, std::string_view Msg);
+};
+
+/// Streaming helper: builds the message only when the level is enabled.
+class LogStream {
+public:
+  explicit LogStream(LogLevel L) : Level(L), Active(Logger::enabled(L)) {}
+  ~LogStream() {
+    if (Active)
+      Logger::write(Level, Buf.str());
+  }
+  LogStream(const LogStream &) = delete;
+  LogStream &operator=(const LogStream &) = delete;
+
+  template <typename T> LogStream &operator<<(const T &V) {
+    if (Active)
+      Buf << V;
+    return *this;
+  }
+
+private:
+  LogLevel Level;
+  bool Active;
+  std::ostringstream Buf;
+};
+
+#define CODESIGN_LOG(LevelName)                                               \
+  ::codesign::LogStream(::codesign::LogLevel::LevelName)
+
+} // namespace codesign

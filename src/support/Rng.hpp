@@ -1,0 +1,92 @@
+//===- support/Rng.hpp - Deterministic random number generation ----------===//
+//
+// All stochastic inputs in the project (workload generation for the proxy
+// apps, randomized property tests) flow through this deterministic generator
+// so runs are reproducible bit-for-bit. SplitMix64 for seeding,
+// xoshiro256** for the stream — both public-domain algorithms.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace codesign {
+
+/// SplitMix64 step; used to expand a single seed into generator state.
+constexpr std::uint64_t splitMix64(std::uint64_t &State) {
+  State += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Deterministic xoshiro256** generator. Satisfies the essentials of
+/// UniformRandomBitGenerator so it can drive <random> distributions, but the
+/// project uses the direct helpers below to guarantee cross-platform
+/// determinism (std distributions are implementation-defined).
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  /// Seed the generator; equal seeds give equal streams on every platform.
+  explicit Rng(std::uint64_t Seed = 0x5EEDULL) {
+    std::uint64_t S = Seed;
+    for (auto &Word : State)
+      Word = splitMix64(S);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() {
+    const std::uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    const std::uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound). Bound must be nonzero. Uses rejection
+  /// sampling to avoid modulo bias.
+  std::uint64_t below(std::uint64_t Bound) {
+    const std::uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      const std::uint64_t R = (*this)();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  std::int64_t range(std::int64_t Lo, std::int64_t Hi) {
+    return Lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi) { return Lo + (Hi - Lo) * uniform(); }
+
+  /// Bernoulli draw with probability P of returning true.
+  bool chance(double P) { return uniform() < P; }
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  std::array<std::uint64_t, 4> State{};
+};
+
+} // namespace codesign

@@ -1,0 +1,57 @@
+//===- support/Stats.hpp - Streaming statistics ---------------------------===//
+//
+// Welford-style streaming accumulator used by benches to report mean and
+// spread across repetitions, and by the virtual GPU to summarize per-thread
+// cycle distributions.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace codesign {
+
+/// Streaming mean / variance / min / max accumulator (Welford's algorithm,
+/// numerically stable).
+class StreamingStats {
+public:
+  /// Add one observation.
+  void add(double X) {
+    ++N;
+    const double Delta = X - Mean;
+    Mean += Delta / static_cast<double>(N);
+    M2 += Delta * (X - Mean);
+    if (X < MinV)
+      MinV = X;
+    if (X > MaxV)
+      MaxV = X;
+    Sum += X;
+  }
+
+  /// Number of observations so far.
+  [[nodiscard]] std::uint64_t count() const { return N; }
+  /// Arithmetic mean (0 when empty).
+  [[nodiscard]] double mean() const { return N ? Mean : 0.0; }
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const { return Sum; }
+  /// Sample standard deviation (0 for fewer than two observations).
+  [[nodiscard]] double stddev() const {
+    return N > 1 ? std::sqrt(M2 / static_cast<double>(N - 1)) : 0.0;
+  }
+  /// Minimum observation (+inf when empty).
+  [[nodiscard]] double min() const { return MinV; }
+  /// Maximum observation (-inf when empty).
+  [[nodiscard]] double max() const { return MaxV; }
+
+private:
+  std::uint64_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Sum = 0.0;
+  double MinV = std::numeric_limits<double>::infinity();
+  double MaxV = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace codesign

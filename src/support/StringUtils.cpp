@@ -1,0 +1,49 @@
+#include "support/StringUtils.hpp"
+
+namespace codesign {
+
+std::vector<std::string> splitString(std::string_view Text, char Sep) {
+  std::vector<std::string> Out;
+  std::size_t Start = 0;
+  for (std::size_t I = 0; I <= Text.size(); ++I) {
+    if (I == Text.size() || Text[I] == Sep) {
+      Out.emplace_back(Text.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Out;
+}
+
+bool startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+bool endsWith(std::string_view Text, std::string_view Suffix) {
+  return Text.size() >= Suffix.size() &&
+         Text.substr(Text.size() - Suffix.size()) == Suffix;
+}
+
+std::string_view trim(std::string_view Text) {
+  std::size_t B = 0, E = Text.size();
+  while (B < E && (Text[B] == ' ' || Text[B] == '\t' || Text[B] == '\n' ||
+                   Text[B] == '\r'))
+    ++B;
+  while (E > B && (Text[E - 1] == ' ' || Text[E - 1] == '\t' ||
+                   Text[E - 1] == '\n' || Text[E - 1] == '\r'))
+    --E;
+  return Text.substr(B, E - B);
+}
+
+std::string joinStrings(const std::vector<std::string> &Pieces,
+                        std::string_view Sep) {
+  std::string Out;
+  for (std::size_t I = 0; I < Pieces.size(); ++I) {
+    if (I)
+      Out.append(Sep);
+    Out.append(Pieces[I]);
+  }
+  return Out;
+}
+
+} // namespace codesign

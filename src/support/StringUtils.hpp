@@ -1,0 +1,26 @@
+//===- support/StringUtils.hpp - Small string helpers --------------------===//
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace codesign {
+
+/// Split Text on the separator character; empty pieces are kept.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// True when Text begins with Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// True when Text ends with Suffix.
+bool endsWith(std::string_view Text, std::string_view Suffix);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view Text);
+
+/// Join pieces with the separator.
+std::string joinStrings(const std::vector<std::string> &Pieces,
+                        std::string_view Sep);
+
+} // namespace codesign

@@ -1,0 +1,115 @@
+//===- vgpu/Interpreter.hpp - IR interpreter with GPU execution model -----===//
+//
+// Executes kernel IR over a league of teams. Threads within a team are
+// interpreted cooperatively: each runs until it blocks at a team barrier,
+// finishes, or traps; a barrier rendezvous completes when every live thread
+// of the team has arrived, at which point all clocks synchronize to the
+// latest arrival (plus the barrier cost). This reproduces the execution
+// semantics the paper's runtime relies on — including the generic-mode
+// state machine, which is pure barrier choreography between the main
+// thread and the workers (paper Section II-C).
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/Module.hpp"
+#include "vgpu/DeviceConfig.hpp"
+#include "vgpu/Memory.hpp"
+#include "vgpu/Metrics.hpp"
+#include "vgpu/NativeRegistry.hpp"
+
+namespace codesign::vgpu {
+
+using ir::Function;
+using ir::GlobalVariable;
+using ir::Instruction;
+using ir::Module;
+using ir::Value;
+
+/// A module prepared for execution: device-resident statics laid out and
+/// initialized, shared-space statics assigned per-team offsets, functions
+/// given dense value-slot numberings, and function addresses assigned for
+/// indirect calls (e.g. the work-function slot of the state machine).
+class ModuleImage {
+public:
+  /// Lay out M's globals. Global/Constant-space variables are allocated in
+  /// GM immediately and initialized; Shared-space variables get offsets in
+  /// the per-team static segment.
+  ModuleImage(const Module &M, GlobalMemory &GM);
+  ~ModuleImage();
+  ModuleImage(const ModuleImage &) = delete;
+  ModuleImage &operator=(const ModuleImage &) = delete;
+
+  /// The module this image was built from.
+  [[nodiscard]] const Module &module() const { return M; }
+
+  /// Device address of a module global (Global/Constant space: absolute;
+  /// Shared space: team-relative).
+  [[nodiscard]] DeviceAddr addressOf(const GlobalVariable *G) const;
+
+  /// Size in bytes of the per-team static shared segment — the image's
+  /// static shared memory footprint (Figure 11 "SMem").
+  [[nodiscard]] std::uint64_t sharedStaticSize() const { return SharedSize; }
+
+  /// Initialize a team's shared arena (static segment initializers, zeros
+  /// elsewhere). Arena must be at least sharedStaticSize() bytes.
+  void initTeamShared(std::vector<std::uint8_t> &Arena) const;
+
+  /// Pseudo-address representing the address of function F (usable as an
+  /// indirect-call target only).
+  [[nodiscard]] DeviceAddr functionAddress(const Function *F) const;
+  /// Reverse lookup; null when the address is not a function address.
+  [[nodiscard]] const Function *functionFor(DeviceAddr A) const;
+
+  /// Dense SSA slot numbering for F (built on demand, cached).
+  struct FunctionLayout {
+    std::unordered_map<const Value *, std::uint32_t> Slots;
+    std::uint32_t NumSlots = 0;
+  };
+  [[nodiscard]] const FunctionLayout &layout(const Function *F) const;
+
+private:
+  const Module &M;
+  GlobalMemory &GM;
+  std::unordered_map<const GlobalVariable *, DeviceAddr> GlobalAddrs;
+  std::uint64_t StaticsOffset = 0; ///< base of the statics block in GM
+  std::uint64_t StaticsSize = 0;
+  std::uint64_t SharedSize = 0;
+  std::vector<std::uint8_t> SharedInit;
+  std::vector<const Function *> FunctionsByIndex;
+  std::unordered_map<const Function *, std::uint32_t> FunctionIndex;
+  mutable std::unordered_map<const Function *, FunctionLayout> Layouts;
+};
+
+/// Outcome of a kernel launch.
+struct LaunchResult {
+  bool Ok = false;
+  std::string Error;      ///< populated when !Ok (trap, deadlock, assert)
+  LaunchMetrics Metrics;  ///< populated when Ok
+};
+
+/// Launches kernels from a ModuleImage onto the virtual device.
+class KernelLauncher {
+public:
+  KernelLauncher(const DeviceConfig &Config, GlobalMemory &GM,
+                 const NativeRegistry &Registry)
+      : Config(Config), GM(GM), Registry(Registry) {}
+
+  /// Execute Kernel over NumTeams x NumThreads with the given argument bits
+  /// (one entry per kernel parameter, in the IR value encoding).
+  LaunchResult launch(const ModuleImage &Image, const Function *Kernel,
+                      std::span<const std::uint64_t> Args,
+                      std::uint32_t NumTeams, std::uint32_t NumThreads);
+
+private:
+  const DeviceConfig &Config;
+  GlobalMemory &GM;
+  const NativeRegistry &Registry;
+};
+
+} // namespace codesign::vgpu

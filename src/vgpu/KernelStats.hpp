@@ -1,0 +1,22 @@
+//===- vgpu/KernelStats.hpp - Static resource usage of a kernel -----------===//
+#pragma once
+
+#include "ir/Module.hpp"
+#include "vgpu/Metrics.hpp"
+#include "vgpu/NativeRegistry.hpp"
+
+namespace codesign::vgpu {
+
+/// Compute the static resource usage of Kernel within its module, after
+/// optimization:
+///  * Registers: 8 + peak SSA liveness over the kernel and every function
+///    reachable from it (max across functions — a called function's frame
+///    reuses registers), plus the declared register footprint of the
+///    heaviest native op used.
+///  * SharedMemBytes: total per-team shared segment of the module (what a
+///    ModuleImage would reserve) — the direct analogue of Figure 11's SMem.
+///  * CodeSize: instructions in the kernel plus reachable functions.
+KernelStaticStats computeKernelStats(const ir::Function &Kernel,
+                                     const NativeRegistry &Registry);
+
+} // namespace codesign::vgpu

@@ -1,0 +1,82 @@
+#include "vgpu/Memory.hpp"
+
+#include <cstring>
+
+namespace codesign::vgpu {
+
+GlobalMemory::GlobalMemory(std::uint64_t SizeBytes) : Bytes(SizeBytes, 0) {
+  // Offset 0 is reserved so that a global address with offset 0 never
+  // collides with the null pointer encoding.
+  FreeBlocks[16] = SizeBytes - 16;
+}
+
+std::uint64_t GlobalMemory::allocate(std::uint64_t Size, std::uint64_t Align) {
+  CODESIGN_ASSERT(Size > 0, "zero-size device allocation");
+  for (auto It = FreeBlocks.begin(); It != FreeBlocks.end(); ++It) {
+    const std::uint64_t Start = It->first;
+    const std::uint64_t BlockSize = It->second;
+    const std::uint64_t Aligned = (Start + Align - 1) & ~(Align - 1);
+    const std::uint64_t Waste = Aligned - Start;
+    if (BlockSize < Waste + Size)
+      continue;
+    FreeBlocks.erase(It);
+    if (Waste > 0)
+      FreeBlocks[Start] = Waste;
+    const std::uint64_t Remainder = BlockSize - Waste - Size;
+    if (Remainder > 0)
+      FreeBlocks[Aligned + Size] = Remainder;
+    LiveBlocks[Aligned] = Size;
+    InUse += Size;
+    return Aligned;
+  }
+  fatalError("device global memory exhausted");
+}
+
+void GlobalMemory::release(std::uint64_t Offset) {
+  auto It = LiveBlocks.find(Offset);
+  CODESIGN_ASSERT(It != LiveBlocks.end(), "free of unallocated device memory");
+  std::uint64_t Size = It->second;
+  InUse -= Size;
+  LiveBlocks.erase(It);
+  // Coalesce with neighbours.
+  auto Next = FreeBlocks.upper_bound(Offset);
+  if (Next != FreeBlocks.end() && Offset + Size == Next->first) {
+    Size += Next->second;
+    Next = FreeBlocks.erase(Next);
+  }
+  if (Next != FreeBlocks.begin()) {
+    auto Prev = std::prev(Next);
+    if (Prev->first + Prev->second == Offset) {
+      Prev->second += Size;
+      return;
+    }
+  }
+  FreeBlocks[Offset] = Size;
+}
+
+void GlobalMemory::write(std::uint64_t Offset,
+                         std::span<const std::uint8_t> Data) {
+  CODESIGN_ASSERT(Offset + Data.size() <= Bytes.size(),
+                  "global write out of bounds");
+  std::memcpy(Bytes.data() + Offset, Data.data(), Data.size());
+}
+
+void GlobalMemory::read(std::uint64_t Offset,
+                        std::span<std::uint8_t> Out) const {
+  CODESIGN_ASSERT(Offset + Out.size() <= Bytes.size(),
+                  "global read out of bounds");
+  std::memcpy(Out.data(), Bytes.data() + Offset, Out.size());
+}
+
+std::uint8_t *GlobalMemory::data(std::uint64_t Offset, std::uint64_t Size) {
+  CODESIGN_ASSERT(Offset + Size <= Bytes.size(), "global access out of bounds");
+  return Bytes.data() + Offset;
+}
+
+const std::uint8_t *GlobalMemory::data(std::uint64_t Offset,
+                                       std::uint64_t Size) const {
+  CODESIGN_ASSERT(Offset + Size <= Bytes.size(), "global access out of bounds");
+  return Bytes.data() + Offset;
+}
+
+} // namespace codesign::vgpu

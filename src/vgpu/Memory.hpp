@@ -1,0 +1,92 @@
+//===- vgpu/Memory.hpp - Device memory arenas -------------------------------===//
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "support/Error.hpp"
+#include "vgpu/Address.hpp"
+
+namespace codesign::vgpu {
+
+/// The device's global memory: a flat byte arena with a first-fit free-list
+/// allocator. Statics (module globals) are carved out at image load time;
+/// the rest serves host allocations (libomptarget-style buffers) and device
+/// `malloc` (the runtime's fallback when the shared stack is full,
+/// paper Section III-D).
+class GlobalMemory {
+public:
+  explicit GlobalMemory(std::uint64_t SizeBytes);
+
+  /// Total capacity in bytes.
+  [[nodiscard]] std::uint64_t capacity() const { return Bytes.size(); }
+
+  /// Allocate Size bytes with the given alignment; returns the offset.
+  /// Fails fatally on exhaustion (the simulator cannot continue meaningfully).
+  std::uint64_t allocate(std::uint64_t Size, std::uint64_t Align = 16);
+  /// Release an allocation previously returned by allocate().
+  void release(std::uint64_t Offset);
+  /// Bytes currently allocated (for leak checks in tests).
+  [[nodiscard]] std::uint64_t bytesInUse() const { return InUse; }
+
+  /// Raw access. Offset+Size must be in bounds.
+  void write(std::uint64_t Offset, std::span<const std::uint8_t> Data);
+  void read(std::uint64_t Offset, std::span<std::uint8_t> Out) const;
+  [[nodiscard]] std::uint8_t *data(std::uint64_t Offset, std::uint64_t Size);
+  [[nodiscard]] const std::uint8_t *data(std::uint64_t Offset,
+                                         std::uint64_t Size) const;
+
+private:
+  std::vector<std::uint8_t> Bytes;
+  std::map<std::uint64_t, std::uint64_t> FreeBlocks; // offset -> size
+  std::map<std::uint64_t, std::uint64_t> LiveBlocks; // offset -> size
+  std::uint64_t InUse = 0;
+};
+
+/// A simple bump arena with watermark save/restore, used for per-thread
+/// local memory (allocas are released when the owning frame returns).
+class BumpArena {
+public:
+  /// Cap is the maximum size; backing storage grows on demand so idle
+  /// threads cost nothing.
+  explicit BumpArena(std::uint64_t Cap) : Cap(Cap) {}
+
+  /// Allocate Size bytes aligned to 16; returns offset.
+  std::uint64_t allocate(std::uint64_t Size) {
+    const std::uint64_t Off = (Top + 15) & ~std::uint64_t{15};
+    CODESIGN_ASSERT(Off + Size <= Cap, "local memory exhausted");
+    Top = Off + Size;
+    ensure(Top);
+    return Off;
+  }
+  /// Current watermark, to be restored on frame exit.
+  [[nodiscard]] std::uint64_t watermark() const { return Top; }
+  /// Roll back to a previously saved watermark.
+  void restore(std::uint64_t Mark) {
+    CODESIGN_ASSERT(Mark <= Top, "invalid watermark restore");
+    Top = Mark;
+  }
+  /// Reset for reuse by the next team.
+  void reset() { Top = 0; }
+
+  [[nodiscard]] std::uint8_t *data(std::uint64_t Offset, std::uint64_t Size) {
+    CODESIGN_ASSERT(Offset + Size <= Cap, "local access out of bounds");
+    ensure(Offset + Size);
+    return Bytes.data() + Offset;
+  }
+
+private:
+  void ensure(std::uint64_t Size) {
+    if (Bytes.size() < Size)
+      Bytes.resize(std::max<std::uint64_t>(Size * 2, 256));
+  }
+
+  std::uint64_t Cap;
+  std::vector<std::uint8_t> Bytes;
+  std::uint64_t Top = 0;
+};
+
+} // namespace codesign::vgpu

@@ -1,0 +1,73 @@
+//===- vgpu/Metrics.hpp - Launch measurements ------------------------------===//
+//
+// The observables of the paper's Figure 11: kernel time (cycles here),
+// register count and static shared memory, plus dynamic counters that let
+// the benches explain *why* a configuration is faster (fewer global/shared
+// accesses, fewer barriers).
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <cstdint>
+
+namespace codesign::vgpu {
+
+/// Counters accumulated across one kernel launch.
+struct LaunchMetrics {
+  /// Modeled kernel duration: max over SMs of the sum of their teams'
+  /// cycle counts (teams are assigned to SMs round-robin).
+  std::uint64_t KernelCycles = 0;
+  /// Total interpreted instructions across all threads.
+  std::uint64_t DynamicInstructions = 0;
+  std::uint64_t GlobalLoads = 0;
+  std::uint64_t GlobalStores = 0;
+  std::uint64_t SharedLoads = 0;
+  std::uint64_t SharedStores = 0;
+  std::uint64_t LocalAccesses = 0;
+  std::uint64_t Atomics = 0;
+  /// Barrier rendezvous executed (team-wide events, not per-thread).
+  std::uint64_t Barriers = 0;
+  /// Calls interpreted with frame setup (i.e. not inlined away).
+  std::uint64_t Calls = 0;
+  /// Cycles spent inside registered native operations (app compute).
+  std::uint64_t NativeCycles = 0;
+  /// Device mallocs performed by the runtime (thread states, stack overflow).
+  std::uint64_t DeviceMallocs = 0;
+  /// High-water mark of the runtime's shared stack across teams (bytes).
+  std::uint64_t SharedStackPeak = 0;
+  /// Concurrent teams per SM this launch achieved (occupancy), limited by
+  /// shared-memory and register usage.
+  std::uint32_t TeamsPerSM = 0;
+
+  /// Merge counters from another launch segment (one team).
+  void accumulate(const LaunchMetrics &O) {
+    DynamicInstructions += O.DynamicInstructions;
+    GlobalLoads += O.GlobalLoads;
+    GlobalStores += O.GlobalStores;
+    SharedLoads += O.SharedLoads;
+    SharedStores += O.SharedStores;
+    LocalAccesses += O.LocalAccesses;
+    Atomics += O.Atomics;
+    Barriers += O.Barriers;
+    Calls += O.Calls;
+    NativeCycles += O.NativeCycles;
+    DeviceMallocs += O.DeviceMallocs;
+    if (O.SharedStackPeak > SharedStackPeak)
+      SharedStackPeak = O.SharedStackPeak;
+  }
+};
+
+/// Static per-kernel resource usage, computed on the optimized module.
+struct KernelStaticStats {
+  /// Estimated registers (base + SSA liveness peak); Figure 11 "# Regs".
+  unsigned Registers = 0;
+  /// Bytes of per-team static shared memory surviving optimization;
+  /// Figure 11 "SMem".
+  std::uint64_t SharedMemBytes = 0;
+  /// Instructions in the kernel after optimization (code-size metric for
+  /// the feature-pruning experiment, Figure 1's "you only pay for what you
+  /// use").
+  std::uint64_t CodeSize = 0;
+};
+
+} // namespace codesign::vgpu

@@ -1,0 +1,133 @@
+//===- vgpu/NativeRegistry.hpp - Host functors callable from device IR -----===//
+//
+// Proxy-application loop bodies are registered here as C++ functors and
+// invoked from IR via the NativeOp opcode. The runtime/orchestration code —
+// where all of the paper's overheads live — stays in IR and is visible to
+// the optimizer; the numeric payload executes natively with an explicit
+// cost profile (so memory-bound vs compute-bound character is preserved).
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/Type.hpp"
+#include "support/Error.hpp"
+#include "vgpu/Address.hpp"
+
+namespace codesign::vgpu {
+
+/// Execution-side view handed to a native functor: typed argument access,
+/// device memory access (auto-charged to the cost model), explicit compute
+/// cycle charging, and the result slot.
+class NativeCtx {
+public:
+  virtual ~NativeCtx() = default;
+
+  /// Number of IR operands passed to the NativeOp.
+  [[nodiscard]] virtual unsigned numArgs() const = 0;
+  /// Raw 64-bit representation of argument I.
+  [[nodiscard]] virtual std::uint64_t argBits(unsigned I) const = 0;
+
+  [[nodiscard]] std::int64_t argI64(unsigned I) const {
+    return static_cast<std::int64_t>(argBits(I));
+  }
+  [[nodiscard]] std::int32_t argI32(unsigned I) const {
+    return static_cast<std::int32_t>(argBits(I));
+  }
+  [[nodiscard]] double argF64(unsigned I) const {
+    const std::uint64_t B = argBits(I);
+    double D;
+    static_assert(sizeof(D) == sizeof(B));
+    __builtin_memcpy(&D, &B, sizeof(D));
+    return D;
+  }
+  [[nodiscard]] DeviceAddr argPtr(unsigned I) const {
+    return DeviceAddr(argBits(I));
+  }
+
+  /// Typed device memory access. Loads/stores are charged to the cost model
+  /// and counted in the launch metrics, so a memory-bound native body
+  /// behaves like memory-bound IR.
+  [[nodiscard]] virtual std::uint64_t loadBits(DeviceAddr A, unsigned Size) = 0;
+  virtual void storeBits(DeviceAddr A, std::uint64_t Bits, unsigned Size) = 0;
+
+  [[nodiscard]] double loadF64(DeviceAddr A) {
+    const std::uint64_t B = loadBits(A, 8);
+    double D;
+    __builtin_memcpy(&D, &B, sizeof(D));
+    return D;
+  }
+  void storeF64(DeviceAddr A, double D) {
+    std::uint64_t B;
+    __builtin_memcpy(&B, &D, sizeof(B));
+    storeBits(A, B, 8);
+  }
+  [[nodiscard]] std::int64_t loadI64(DeviceAddr A) {
+    return static_cast<std::int64_t>(loadBits(A, 8));
+  }
+  void storeI64(DeviceAddr A, std::int64_t V) {
+    storeBits(A, static_cast<std::uint64_t>(V), 8);
+  }
+  [[nodiscard]] std::int32_t loadI32(DeviceAddr A) {
+    return static_cast<std::int32_t>(loadBits(A, 4));
+  }
+  void storeI32(DeviceAddr A, std::int32_t V) {
+    storeBits(A, static_cast<std::uint64_t>(static_cast<std::uint32_t>(V)), 4);
+  }
+
+  /// Charge pure compute cycles (ALU/FPU work done natively).
+  virtual void chargeCycles(std::uint64_t Cycles) = 0;
+
+  /// Set the NativeOp result (for non-void result types).
+  virtual void setResultBits(std::uint64_t Bits) = 0;
+  void setResultF64(double D) {
+    std::uint64_t B;
+    __builtin_memcpy(&B, &D, sizeof(B));
+    setResultBits(B);
+  }
+  void setResultI64(std::int64_t V) {
+    setResultBits(static_cast<std::uint64_t>(V));
+  }
+
+  /// Identity of the executing thread (for divergent native bodies).
+  [[nodiscard]] virtual std::uint32_t threadId() const = 0;
+  [[nodiscard]] virtual std::uint32_t teamId() const = 0;
+};
+
+/// A registered native operation.
+struct NativeOpInfo {
+  std::string Name;
+  std::function<void(NativeCtx &)> Fn;
+  /// Additional register pressure the native body contributes to the
+  /// kernel's register estimate (declared, since the body is opaque).
+  unsigned ExtraRegisters = 0;
+};
+
+/// Registry of native operations, keyed by dense id (the NativeOp imm).
+class NativeRegistry {
+public:
+  /// Register an operation; returns its id.
+  std::int64_t add(NativeOpInfo Info) {
+    Ops.push_back(std::move(Info));
+    return static_cast<std::int64_t>(Ops.size() - 1);
+  }
+
+  /// Look up by id.
+  [[nodiscard]] const NativeOpInfo &get(std::int64_t Id) const {
+    CODESIGN_ASSERT(Id >= 0 && static_cast<std::size_t>(Id) < Ops.size(),
+                    "unknown native op id");
+    return Ops[static_cast<std::size_t>(Id)];
+  }
+
+  /// Number of registered operations.
+  [[nodiscard]] std::size_t size() const { return Ops.size(); }
+
+private:
+  std::vector<NativeOpInfo> Ops;
+};
+
+} // namespace codesign::vgpu

@@ -1,0 +1,89 @@
+//===- vgpu/VirtualGPU.hpp - Device facade ---------------------------------===//
+//
+// The user-facing device object: owns global memory and the native-op
+// registry, loads module images, and launches kernels. The host runtime
+// (src/host) builds its libomptarget-like data mapping on top of this.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <memory>
+
+#include "vgpu/Interpreter.hpp"
+
+namespace codesign::vgpu {
+
+/// A virtual GPU device.
+class VirtualGPU {
+public:
+  explicit VirtualGPU(DeviceConfig Config = {})
+      : Config(std::move(Config)), GM(this->Config.GlobalMemBytes) {}
+
+  /// Device configuration (read-only after construction).
+  [[nodiscard]] const DeviceConfig &config() const { return Config; }
+  /// Registry used to resolve NativeOp ids; populate before launching.
+  [[nodiscard]] NativeRegistry &registry() { return Registry; }
+
+  // --- Host-visible memory management (cudaMalloc/cudaMemcpy analogue) ----
+
+  /// Allocate Size bytes of device global memory.
+  DeviceAddr allocate(std::uint64_t Size, std::uint64_t Align = 16) {
+    return DeviceAddr::make(MemSpace::Global, GM.allocate(Size, Align));
+  }
+  /// Release an allocation from allocate().
+  void release(DeviceAddr A) {
+    CODESIGN_ASSERT(A.space() == MemSpace::Global, "release of non-global");
+    GM.release(A.offset());
+  }
+  /// Copy host -> device.
+  void write(DeviceAddr A, std::span<const std::uint8_t> Data) {
+    CODESIGN_ASSERT(A.space() == MemSpace::Global, "write to non-global");
+    GM.write(A.offset(), Data);
+  }
+  /// Copy device -> host.
+  void read(DeviceAddr A, std::span<std::uint8_t> Out) const {
+    CODESIGN_ASSERT(A.space() == MemSpace::Global, "read from non-global");
+    GM.read(A.offset(), Out);
+  }
+  /// Bytes currently allocated (leak checking in tests).
+  [[nodiscard]] std::uint64_t bytesInUse() const { return GM.bytesInUse(); }
+
+  // --- Images and launches ---------------------------------------------------
+
+  /// Prepare a module for execution (global layout + initialization).
+  /// The module must outlive the image.
+  std::unique_ptr<ModuleImage> loadImage(const Module &M) {
+    return std::make_unique<ModuleImage>(M, GM);
+  }
+
+  /// Launch a kernel by function pointer.
+  LaunchResult launch(const ModuleImage &Image, const Function *Kernel,
+                      std::span<const std::uint64_t> Args,
+                      std::uint32_t NumTeams, std::uint32_t NumThreads) {
+    KernelLauncher L(Config, GM, Registry);
+    return L.launch(Image, Kernel, Args, NumTeams, NumThreads);
+  }
+
+  /// Launch a kernel by name.
+  LaunchResult launch(const ModuleImage &Image, std::string_view KernelName,
+                      std::span<const std::uint64_t> Args,
+                      std::uint32_t NumTeams, std::uint32_t NumThreads) {
+    const Function *K = Image.module().findFunction(KernelName);
+    if (!K) {
+      LaunchResult R;
+      R.Error = "no such kernel: " + std::string(KernelName);
+      return R;
+    }
+    return launch(Image, K, Args, NumTeams, NumThreads);
+  }
+
+  /// Toggle debug executions (runtime invariant verification).
+  void setDebugChecks(bool On) { Config.DebugChecks = On; }
+
+private:
+  DeviceConfig Config;
+  GlobalMemory GM;
+  NativeRegistry Registry;
+};
+
+} // namespace codesign::vgpu

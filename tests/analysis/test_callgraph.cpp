@@ -1,0 +1,98 @@
+#include "analysis/CallGraph.hpp"
+#include "ir/IRBuilder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codesign::analysis {
+namespace {
+
+using namespace ir;
+
+TEST(CallGraph, DirectEdges) {
+  Module M;
+  Function *Leaf = M.createFunction("leaf", Type::voidTy(), {});
+  Function *Mid = M.createFunction("mid", Type::voidTy(), {});
+  Function *K = M.createFunction("kern", Type::voidTy(), {});
+  K->addAttr(FnAttr::Kernel);
+  IRBuilder B(M);
+  B.setInsertPoint(Leaf->createBlock("entry"));
+  B.retVoid();
+  B.setInsertPoint(Mid->createBlock("entry"));
+  B.call(Leaf, {});
+  B.retVoid();
+  B.setInsertPoint(K->createBlock("entry"));
+  B.call(Mid, {});
+  B.retVoid();
+
+  CallGraph CG(M);
+  ASSERT_EQ(CG.callees(K).size(), 1u);
+  EXPECT_EQ(CG.callees(K)[0], Mid);
+  ASSERT_EQ(CG.callers(Leaf).size(), 1u);
+  EXPECT_EQ(CG.callers(Leaf)[0], Mid);
+  EXPECT_TRUE(CG.reachableFromKernels().count(Leaf));
+  EXPECT_TRUE(CG.reachableFromKernels().count(K));
+}
+
+TEST(CallGraph, UnreachableFunctionNotListed) {
+  Module M;
+  Function *K = M.createFunction("kern", Type::voidTy(), {});
+  K->addAttr(FnAttr::Kernel);
+  Function *Orphan = M.createFunction("orphan", Type::voidTy(), {});
+  Orphan->addAttr(FnAttr::Internal);
+  IRBuilder B(M);
+  B.setInsertPoint(K->createBlock("entry"));
+  B.retVoid();
+  B.setInsertPoint(Orphan->createBlock("entry"));
+  B.retVoid();
+  CallGraph CG(M);
+  EXPECT_FALSE(CG.reachableFromKernels().count(Orphan));
+}
+
+TEST(CallGraph, AddressTakenIsUnknownCallersAndReachable) {
+  Module M;
+  Function *Outlined = M.createFunction("outlined", Type::voidTy(), {});
+  Outlined->addAttr(FnAttr::Internal);
+  Function *K = M.createFunction("kern", Type::voidTy(), {Type::ptr()});
+  K->addAttr(FnAttr::Kernel);
+  IRBuilder B(M);
+  B.setInsertPoint(Outlined->createBlock("entry"));
+  B.retVoid();
+  B.setInsertPoint(K->createBlock("entry"));
+  // Store the function address into the work-function slot (state machine).
+  B.store(Outlined->asValue(), K->arg(0));
+  B.retVoid();
+
+  CallGraph CG(M);
+  EXPECT_TRUE(CG.hasUnknownCallers(Outlined));
+  EXPECT_TRUE(CG.reachableFromKernels().count(Outlined));
+}
+
+TEST(CallGraph, IndirectCallFlagsUnknownCallee) {
+  Module M;
+  Function *K = M.createFunction("kern", Type::voidTy(), {Type::ptr()});
+  K->addAttr(FnAttr::Kernel);
+  IRBuilder B(M);
+  B.setInsertPoint(K->createBlock("entry"));
+  Value *FnPtr = B.load(Type::ptr(), K->arg(0));
+  B.callIndirect(Type::voidTy(), FnPtr, {});
+  B.retVoid();
+  CallGraph CG(M);
+  EXPECT_TRUE(CG.hasUnknownCallee(K));
+  EXPECT_TRUE(CG.callees(K).empty());
+}
+
+TEST(CallGraph, ExternalLinkageMeansUnknownCallers) {
+  Module M;
+  Function *F = M.createFunction("exported", Type::voidTy(), {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.retVoid();
+  CallGraph CG(M);
+  EXPECT_TRUE(CG.hasUnknownCallers(F)) << "not internal => callable externally";
+  F->addAttr(FnAttr::Internal);
+  CallGraph CG2(M);
+  EXPECT_FALSE(CG2.hasUnknownCallers(F));
+}
+
+} // namespace
+} // namespace codesign::analysis

@@ -1,0 +1,161 @@
+#include "analysis/Dominators.hpp"
+#include "ir/IRBuilder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/Rng.hpp"
+
+namespace codesign::analysis {
+namespace {
+
+using namespace ir;
+
+TEST(Dominators, Diamond) {
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {Type::i1()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Else = F->createBlock("else");
+  BasicBlock *Join = F->createBlock("join");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.condBr(F->arg(0), Then, Else);
+  B.setInsertPoint(Then);
+  B.br(Join);
+  B.setInsertPoint(Else);
+  B.br(Join);
+  B.setInsertPoint(Join);
+  B.retVoid();
+
+  DominatorTree DT(*F);
+  EXPECT_TRUE(DT.dominates(Entry, Join));
+  EXPECT_TRUE(DT.dominates(Entry, Then));
+  EXPECT_FALSE(DT.dominates(Then, Join));
+  EXPECT_FALSE(DT.dominates(Else, Join));
+  EXPECT_TRUE(DT.dominates(Join, Join));
+  EXPECT_EQ(DT.idom(Join), Entry);
+  EXPECT_EQ(DT.idom(Then), Entry);
+  EXPECT_EQ(DT.idom(Entry), nullptr);
+}
+
+TEST(Dominators, LoopBackEdge) {
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {Type::i1()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.br(Header);
+  B.setInsertPoint(Header);
+  B.condBr(F->arg(0), Body, Exit);
+  B.setInsertPoint(Body);
+  B.br(Header);
+  B.setInsertPoint(Exit);
+  B.retVoid();
+
+  DominatorTree DT(*F);
+  EXPECT_TRUE(DT.dominates(Header, Body));
+  EXPECT_TRUE(DT.dominates(Header, Exit));
+  EXPECT_FALSE(DT.dominates(Body, Exit));
+  EXPECT_FALSE(DT.dominates(Body, Header));
+}
+
+TEST(Dominators, UnreachableBlockDominatesNothing) {
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Dead = F->createBlock("dead");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.retVoid();
+  B.setInsertPoint(Dead);
+  B.retVoid();
+
+  DominatorTree DT(*F);
+  EXPECT_FALSE(DT.isReachable(Dead));
+  EXPECT_TRUE(DT.isReachable(Entry));
+  EXPECT_FALSE(DT.dominates(Dead, Entry));
+}
+
+TEST(Dominators, InstructionLevelOrdering) {
+  Module M;
+  Function *F = M.createFunction("f", Type::i32(), {Type::i32()});
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  auto *A = cast<Instruction>(B.add(F->arg(0), F->arg(0)));
+  auto *C = cast<Instruction>(B.add(A, F->arg(0)));
+  auto *R = B.ret(C);
+  DominatorTree DT(*F);
+  EXPECT_TRUE(DT.dominates(A, C));
+  EXPECT_TRUE(DT.dominates(A, R));
+  EXPECT_FALSE(DT.dominates(C, A));
+  EXPECT_FALSE(DT.dominates(A, A)) << "strict at instruction level";
+}
+
+/// Property test: dominance agrees with a brute-force oracle ("A dominates B
+/// iff removing A disconnects B from entry") on random CFGs.
+class DominatorsRandomCFG : public ::testing::TestWithParam<int> {};
+
+TEST_P(DominatorsRandomCFG, MatchesRemovalOracle) {
+  Rng R(static_cast<std::uint64_t>(GetParam()));
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {Type::i1()});
+  const int N = static_cast<int>(R.range(3, 10));
+  std::vector<BasicBlock *> Blocks;
+  for (int I = 0; I < N; ++I)
+    Blocks.push_back(F->createBlock("b" + std::to_string(I)));
+  IRBuilder B(M);
+  // Random terminators: each block branches to 1-2 random *later-or-any*
+  // blocks, last block returns.
+  for (int I = 0; I < N; ++I) {
+    B.setInsertPoint(Blocks[static_cast<std::size_t>(I)]);
+    if (I == N - 1 || R.chance(0.2)) {
+      B.retVoid();
+    } else if (R.chance(0.5)) {
+      B.br(Blocks[R.below(static_cast<std::uint64_t>(N))]);
+    } else {
+      B.condBr(F->arg(0), Blocks[R.below(static_cast<std::uint64_t>(N))],
+               Blocks[R.below(static_cast<std::uint64_t>(N))]);
+    }
+  }
+  DominatorTree DT(*F);
+
+  // Oracle: BFS from entry avoiding a removed block.
+  auto reachableAvoiding = [&](const BasicBlock *Avoid) {
+    std::set<const BasicBlock *> Seen;
+    std::vector<const BasicBlock *> Work;
+    if (F->entry() != Avoid)
+      Work.push_back(F->entry());
+    while (!Work.empty()) {
+      const BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (!Seen.insert(BB).second)
+        continue;
+      for (BasicBlock *S : BB->successors())
+        if (S != Avoid)
+          Work.push_back(S);
+    }
+    return Seen;
+  };
+  auto ReachableAll = reachableAvoiding(nullptr);
+  for (BasicBlock *A : Blocks) {
+    auto WithoutA = reachableAvoiding(A);
+    for (BasicBlock *BB : Blocks) {
+      if (!ReachableAll.count(BB) || !ReachableAll.count(A))
+        continue;
+      const bool OracleDom = (BB == A) || !WithoutA.count(BB);
+      EXPECT_EQ(DT.dominates(A, BB), OracleDom)
+          << "seed=" << GetParam() << " A=" << A->name()
+          << " B=" << BB->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominatorsRandomCFG,
+                         ::testing::Range(0, 25));
+
+} // namespace
+} // namespace codesign::analysis

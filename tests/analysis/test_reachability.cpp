@@ -1,0 +1,95 @@
+#include "analysis/Reachability.hpp"
+#include "ir/IRBuilder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codesign::analysis {
+namespace {
+
+using namespace ir;
+
+struct LoopFn {
+  Module M;
+  Function *F = nullptr;
+  BasicBlock *Entry = nullptr, *Header = nullptr, *Body = nullptr,
+             *Exit = nullptr;
+  Instruction *InEntry = nullptr, *InBody = nullptr, *InExit = nullptr;
+
+  LoopFn() {
+    F = M.createFunction("f", Type::voidTy(), {Type::i1(), Type::ptr()});
+    Entry = F->createBlock("entry");
+    Header = F->createBlock("header");
+    Body = F->createBlock("body");
+    Exit = F->createBlock("exit");
+    IRBuilder B(M);
+    B.setInsertPoint(Entry);
+    InEntry = B.store(B.i32(0), F->arg(1));
+    B.br(Header);
+    B.setInsertPoint(Header);
+    B.condBr(F->arg(0), Body, Exit);
+    B.setInsertPoint(Body);
+    InBody = B.store(B.i32(1), F->arg(1));
+    B.br(Header);
+    B.setInsertPoint(Exit);
+    InExit = B.store(B.i32(2), F->arg(1));
+    B.retVoid();
+  }
+};
+
+TEST(Reachability, ForwardEdges) {
+  LoopFn L;
+  Reachability R(*L.F);
+  EXPECT_TRUE(R.blockCanReach(L.Entry, L.Exit));
+  EXPECT_TRUE(R.blockCanReach(L.Entry, L.Body));
+  EXPECT_FALSE(R.blockCanReach(L.Exit, L.Entry));
+  EXPECT_FALSE(R.blockCanReach(L.Exit, L.Body));
+}
+
+TEST(Reachability, CycleSelfReach) {
+  LoopFn L;
+  Reachability R(*L.F);
+  EXPECT_TRUE(R.blockCanReach(L.Body, L.Body)) << "body is on a cycle";
+  EXPECT_TRUE(R.blockCanReach(L.Header, L.Header));
+  EXPECT_FALSE(R.blockCanReach(L.Entry, L.Entry));
+  EXPECT_FALSE(R.blockCanReach(L.Exit, L.Exit));
+}
+
+TEST(Reachability, InstructionLevel) {
+  LoopFn L;
+  Reachability R(*L.F);
+  EXPECT_TRUE(R.canReach(L.InEntry, L.InBody));
+  EXPECT_TRUE(R.canReach(L.InEntry, L.InExit));
+  EXPECT_TRUE(R.canReach(L.InBody, L.InExit));
+  EXPECT_FALSE(R.canReach(L.InExit, L.InBody));
+  EXPECT_TRUE(R.canReach(L.InBody, L.InBody)) << "loop can revisit";
+  EXPECT_FALSE(R.canReach(L.InEntry, L.InEntry));
+}
+
+TEST(Reachability, SameBlockOrdering) {
+  Module M;
+  Function *F = M.createFunction("g", Type::voidTy(), {Type::ptr()});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  Instruction *S1 = B.store(B.i32(1), F->arg(0));
+  Instruction *S2 = B.store(B.i32(2), F->arg(0));
+  B.retVoid();
+  Reachability R(*F);
+  EXPECT_TRUE(R.canReach(S1, S2));
+  EXPECT_FALSE(R.canReach(S2, S1)) << "straight-line block, no cycle";
+}
+
+TEST(Reachability, IsBetween) {
+  LoopFn L;
+  Reachability R(*L.F);
+  // InBody lies between InEntry and InExit (path through the loop).
+  EXPECT_TRUE(R.isBetween(L.InEntry, L.InBody, L.InExit));
+  // InExit does not lie between InEntry and InBody.
+  EXPECT_FALSE(R.isBetween(L.InEntry, L.InExit, L.InBody));
+  // Endpoints never count as between.
+  EXPECT_FALSE(R.isBetween(L.InEntry, L.InEntry, L.InExit));
+  EXPECT_FALSE(R.isBetween(L.InEntry, L.InExit, L.InExit));
+}
+
+} // namespace
+} // namespace codesign::analysis

@@ -1,0 +1,127 @@
+#include "host/HostRuntime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/IRBuilder.hpp"
+
+namespace codesign::host {
+namespace {
+
+using namespace ir;
+
+class HostRuntimeTest : public ::testing::Test {
+protected:
+  vgpu::VirtualGPU GPU;
+};
+
+TEST_F(HostRuntimeTest, MapRoundTrip) {
+  HostRuntime RT(GPU);
+  std::vector<double> Data{1.0, 2.0, 3.0};
+  auto Addr = RT.enterData(Data.data(), Data.size() * 8);
+  ASSERT_TRUE(Addr.hasValue());
+  EXPECT_TRUE(RT.isPresent(Data.data()));
+  // Mutate on the host, push, clear, pull.
+  Data[1] = 42.0;
+  ASSERT_TRUE(RT.updateTo(Data.data()).hasValue());
+  Data[1] = 0.0;
+  ASSERT_TRUE(RT.updateFrom(Data.data()).hasValue());
+  EXPECT_EQ(Data[1], 42.0);
+  ASSERT_TRUE(RT.exitData(Data.data()).hasValue());
+  EXPECT_FALSE(RT.isPresent(Data.data()));
+  EXPECT_EQ(RT.numMappings(), 0u);
+}
+
+TEST_F(HostRuntimeTest, ReferenceCounting) {
+  HostRuntime RT(GPU);
+  std::vector<std::uint8_t> Buf(64);
+  auto A1 = RT.enterData(Buf.data(), 64);
+  auto A2 = RT.enterData(Buf.data(), 64);
+  ASSERT_TRUE(A1 && A2);
+  EXPECT_EQ(A1->Bits, A2->Bits) << "same mapping, bumped refcount";
+  ASSERT_TRUE(RT.exitData(Buf.data()).hasValue());
+  EXPECT_TRUE(RT.isPresent(Buf.data())) << "count dropped to 1, still live";
+  ASSERT_TRUE(RT.exitData(Buf.data()).hasValue());
+  EXPECT_FALSE(RT.isPresent(Buf.data()));
+}
+
+TEST_F(HostRuntimeTest, SizeMismatchRejected) {
+  HostRuntime RT(GPU);
+  std::vector<std::uint8_t> Buf(64);
+  ASSERT_TRUE(RT.enterData(Buf.data(), 64).hasValue());
+  auto Bad = RT.enterData(Buf.data(), 128);
+  EXPECT_FALSE(Bad.hasValue());
+}
+
+TEST_F(HostRuntimeTest, ErrorsOnUnmappedPointers) {
+  HostRuntime RT(GPU);
+  int X = 0;
+  EXPECT_FALSE(RT.lookup(&X).hasValue());
+  EXPECT_FALSE(RT.exitData(&X).hasValue());
+  EXPECT_FALSE(RT.updateTo(&X).hasValue());
+  EXPECT_FALSE(RT.updateFrom(&X).hasValue());
+  EXPECT_FALSE(RT.enterData(nullptr, 8).hasValue());
+  EXPECT_FALSE(RT.enterData(&X, 0).hasValue());
+}
+
+TEST_F(HostRuntimeTest, ExitWithCopyFrom) {
+  HostRuntime RT(GPU);
+  std::vector<std::int64_t> Buf{7};
+  auto Addr = RT.enterData(Buf.data(), 8);
+  ASSERT_TRUE(Addr.hasValue());
+  // Device-side change (simulated via direct write).
+  std::int64_t V = 123;
+  GPU.write(*Addr, std::span(reinterpret_cast<const std::uint8_t *>(&V), 8));
+  ASSERT_TRUE(RT.exitData(Buf.data(), /*CopyFrom=*/true).hasValue());
+  EXPECT_EQ(Buf[0], 123);
+}
+
+TEST_F(HostRuntimeTest, LaunchTranslatesMappedPointers) {
+  // Kernel: out[tid] = scale * in[tid].
+  Module M;
+  Function *K = M.createFunction("scale_k", Type::voidTy(),
+                                 {Type::ptr(), Type::ptr(), Type::f64()});
+  K->addAttr(FnAttr::Kernel);
+  IRBuilder B(M);
+  B.setInsertPoint(K->createBlock("entry"));
+  Value *Tid = B.zext(B.threadId(), Type::i64());
+  Value *Off = B.mul(Tid, B.i64(8));
+  Value *V = B.load(Type::f64(), B.gep(K->arg(0), Off));
+  B.store(B.fmul(V, K->arg(2)), B.gep(K->arg(1), Off));
+  B.retVoid();
+
+  HostRuntime RT(GPU);
+  RT.registerImage(M);
+  constexpr std::uint32_t T = 16;
+  std::vector<double> In(T), Out(T, 0.0);
+  for (std::uint32_t I = 0; I < T; ++I)
+    In[I] = I + 1.0;
+  ASSERT_TRUE(RT.enterData(In.data(), T * 8).hasValue());
+  ASSERT_TRUE(RT.enterData(Out.data(), T * 8, /*CopyTo=*/false).hasValue());
+  const KernelArg Args[] = {KernelArg::mapped(In.data()),
+                            KernelArg::mapped(Out.data()),
+                            KernelArg::f64(2.5)};
+  auto LR = RT.launch("scale_k", Args, 1, T);
+  ASSERT_TRUE(LR.hasValue()) << LR.error().message();
+  ASSERT_TRUE(LR->Ok) << LR->Error;
+  ASSERT_TRUE(RT.updateFrom(Out.data()).hasValue());
+  for (std::uint32_t I = 0; I < T; ++I)
+    EXPECT_DOUBLE_EQ(Out[I], (I + 1.0) * 2.5);
+}
+
+TEST_F(HostRuntimeTest, LaunchRejectsUnknownKernelAndUnmappedArgs) {
+  HostRuntime RT(GPU);
+  EXPECT_FALSE(RT.launch("nope", {}, 1, 1).hasValue());
+  Module M;
+  Function *K = M.createFunction("k", Type::voidTy(), {Type::ptr()});
+  K->addAttr(FnAttr::Kernel);
+  IRBuilder B(M);
+  B.setInsertPoint(K->createBlock("entry"));
+  B.retVoid();
+  RT.registerImage(M);
+  int X = 0;
+  const KernelArg Args[] = {KernelArg::mapped(&X)};
+  EXPECT_FALSE(RT.launch("k", Args, 1, 1).hasValue());
+}
+
+} // namespace
+} // namespace codesign::host

@@ -1,0 +1,106 @@
+#include "ir/IRBuilder.hpp"
+#include "ir/Linker.hpp"
+#include "ir/Verifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codesign::ir {
+namespace {
+
+/// Build a "runtime" module with a global and a function definition, like
+/// the device RTL bitcode library from the paper's Section II-B.
+std::unique_ptr<Module> makeRuntimeModule() {
+  auto RTL = std::make_unique<Module>("rtl");
+  GlobalVariable *State = RTL->createGlobal("team_state", AddrSpace::Shared, 32);
+  Function *Init = RTL->createFunction("rtl_init", Type::voidTy(), {Type::i32()});
+  Init->addAttr(FnAttr::AlwaysInline);
+  IRBuilder B(*RTL);
+  B.setInsertPoint(Init->createBlock("entry"));
+  B.store(Init->arg(0), State);
+  B.retVoid();
+  return RTL;
+}
+
+TEST(Linker, FulfillsDeclarations) {
+  Module App("app");
+  Function *Decl = App.createFunction("rtl_init", Type::voidTy(), {Type::i32()});
+  Function *K = App.createFunction("kernel", Type::voidTy(), {});
+  K->addAttr(FnAttr::Kernel);
+  IRBuilder B(App);
+  B.setInsertPoint(K->createBlock("entry"));
+  B.call(Decl, {B.i32(5)});
+  B.retVoid();
+
+  auto RTL = makeRuntimeModule();
+  auto Result = linkModules(App, *RTL);
+  ASSERT_TRUE(Result.hasValue()) << Result.error().message();
+
+  Function *Linked = App.findFunction("rtl_init");
+  ASSERT_NE(Linked, nullptr);
+  EXPECT_FALSE(Linked->isDeclaration());
+  EXPECT_TRUE(Linked->hasAttr(FnAttr::AlwaysInline));
+  EXPECT_NE(App.findGlobal("team_state"), nullptr);
+  EXPECT_TRUE(verifyModule(App).empty());
+}
+
+TEST(Linker, RejectsDoubleDefinition) {
+  Module App("app");
+  Function *Def = App.createFunction("rtl_init", Type::voidTy(), {Type::i32()});
+  IRBuilder B(App);
+  B.setInsertPoint(Def->createBlock("entry"));
+  B.retVoid();
+
+  auto RTL = makeRuntimeModule();
+  auto Result = linkModules(App, *RTL);
+  ASSERT_FALSE(Result.hasValue());
+  EXPECT_NE(Result.error().message().find("defined twice"),
+            std::string::npos);
+}
+
+TEST(Linker, RejectsSignatureMismatch) {
+  Module App("app");
+  App.createFunction("rtl_init", Type::i32(), {Type::i32()}); // wrong ret
+  auto RTL = makeRuntimeModule();
+  auto Result = linkModules(App, *RTL);
+  ASSERT_FALSE(Result.hasValue());
+  EXPECT_NE(Result.error().message().find("different signature"),
+            std::string::npos);
+}
+
+TEST(Linker, RejectsGlobalShapeMismatch) {
+  Module App("app");
+  App.createGlobal("team_state", AddrSpace::Global, 32); // wrong space
+  auto RTL = makeRuntimeModule();
+  auto Result = linkModules(App, *RTL);
+  ASSERT_FALSE(Result.hasValue());
+}
+
+TEST(Linker, GlobalInitializerCopied) {
+  Module App("app");
+  auto RTL = std::make_unique<Module>("rtl");
+  GlobalVariable *G = RTL->createGlobal("cfg", AddrSpace::Constant, 8);
+  G->setScalarInit(0xDEAD, 8);
+  auto Result = linkModules(App, *RTL);
+  ASSERT_TRUE(Result.hasValue());
+  GlobalVariable *Linked = App.findGlobal("cfg");
+  ASSERT_NE(Linked, nullptr);
+  EXPECT_EQ(Linked->initializer(), G->initializer());
+}
+
+TEST(Linker, ConstantsRemappedAcrossModules) {
+  Module App("app");
+  auto RTL = std::make_unique<Module>("rtl");
+  Function *F = RTL->createFunction("give7", Type::i32(), {});
+  IRBuilder B(*RTL);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.ret(B.i32(7));
+  ASSERT_TRUE(linkModules(App, *RTL).hasValue());
+  Function *Linked = App.findFunction("give7");
+  ASSERT_NE(Linked, nullptr);
+  Instruction *Ret = Linked->entry()->inst(0);
+  // The constant must belong to App's uniquing table.
+  EXPECT_EQ(Ret->operand(0), App.constI32(7));
+}
+
+} // namespace
+} // namespace codesign::ir

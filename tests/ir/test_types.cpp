@@ -1,0 +1,55 @@
+#include "ir/Type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codesign::ir {
+namespace {
+
+TEST(Type, SizesMatchMemoryLayout) {
+  EXPECT_EQ(Type::i1().sizeInBytes(), 1u);
+  EXPECT_EQ(Type::i32().sizeInBytes(), 4u);
+  EXPECT_EQ(Type::i64().sizeInBytes(), 8u);
+  EXPECT_EQ(Type::f32().sizeInBytes(), 4u);
+  EXPECT_EQ(Type::f64().sizeInBytes(), 8u);
+  EXPECT_EQ(Type::ptr().sizeInBytes(), 8u);
+  EXPECT_EQ(Type::voidTy().sizeInBytes(), 0u);
+}
+
+TEST(Type, Classification) {
+  EXPECT_TRUE(Type::i1().isInteger());
+  EXPECT_TRUE(Type::i64().isInteger());
+  EXPECT_FALSE(Type::f32().isInteger());
+  EXPECT_TRUE(Type::f64().isFloat());
+  EXPECT_TRUE(Type::ptr().isPointer());
+  EXPECT_TRUE(Type::voidTy().isVoid());
+  EXPECT_TRUE(Type::i1().isI1());
+  EXPECT_FALSE(Type::i32().isI1());
+}
+
+TEST(Type, BitWidths) {
+  EXPECT_EQ(Type::i1().bitWidth(), 1u);
+  EXPECT_EQ(Type::i32().bitWidth(), 32u);
+  EXPECT_EQ(Type::i64().bitWidth(), 64u);
+  EXPECT_EQ(Type::f64().bitWidth(), 0u);
+}
+
+TEST(Type, EqualityIsByKind) {
+  EXPECT_EQ(Type::i32(), Type::i32());
+  EXPECT_NE(Type::i32(), Type::i64());
+}
+
+TEST(Type, Names) {
+  EXPECT_EQ(Type::i32().name(), "i32");
+  EXPECT_EQ(Type::ptr().name(), "ptr");
+  EXPECT_EQ(Type::voidTy().name(), "void");
+}
+
+TEST(AddrSpace, Names) {
+  EXPECT_EQ(addrSpaceName(AddrSpace::Shared), "shared");
+  EXPECT_EQ(addrSpaceName(AddrSpace::Global), "global");
+  EXPECT_EQ(addrSpaceName(AddrSpace::Local), "local");
+  EXPECT_EQ(addrSpaceName(AddrSpace::Constant), "constant");
+}
+
+} // namespace
+} // namespace codesign::ir

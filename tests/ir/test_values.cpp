@@ -1,0 +1,114 @@
+#include "ir/IRBuilder.hpp"
+#include "ir/Module.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codesign::ir {
+namespace {
+
+TEST(Constants, IntsAreUniqued) {
+  Module M;
+  EXPECT_EQ(M.constI32(7), M.constI32(7));
+  EXPECT_NE(M.constI32(7), M.constI32(8));
+  EXPECT_NE(static_cast<Value *>(M.constI32(7)),
+            static_cast<Value *>(M.constI64(7)));
+}
+
+TEST(Constants, BoolNormalization) {
+  Module M;
+  EXPECT_EQ(M.constBool(true), M.constInt(Type::i1(), 5));
+  EXPECT_EQ(M.constBool(false)->value(), 0);
+}
+
+TEST(Constants, FloatsUniquedByBitPattern) {
+  Module M;
+  EXPECT_EQ(M.constFP(Type::f64(), 1.5), M.constFP(Type::f64(), 1.5));
+  EXPECT_NE(M.constFP(Type::f64(), 1.5), M.constFP(Type::f32(), 1.5));
+}
+
+TEST(UseLists, TrackUsers) {
+  Module M;
+  Function *F = M.createFunction("f", Type::i32(), {Type::i32()});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  Value *Sum = B.add(F->arg(0), F->arg(0));
+  B.ret(Sum);
+
+  EXPECT_EQ(F->arg(0)->numUses(), 2u);
+  EXPECT_EQ(Sum->numUses(), 1u);
+}
+
+TEST(UseLists, ReplaceAllUsesWith) {
+  Module M;
+  Function *F = M.createFunction("f", Type::i32(), {Type::i32(), Type::i32()});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  Value *Sum = B.add(F->arg(0), F->arg(0));
+  Instruction *Ret = B.ret(Sum);
+
+  Sum->replaceAllUsesWith(F->arg(1));
+  EXPECT_TRUE(Sum->useEmpty());
+  EXPECT_EQ(Ret->operand(0), F->arg(1));
+}
+
+TEST(UseLists, SetOperandUpdatesBothSides) {
+  Module M;
+  Function *F = M.createFunction("f", Type::i32(), {Type::i32(), Type::i32()});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  auto *Sum = cast<Instruction>(B.add(F->arg(0), F->arg(0)));
+  B.ret(Sum);
+
+  Sum->setOperand(1, F->arg(1));
+  EXPECT_EQ(F->arg(0)->numUses(), 1u);
+  EXPECT_EQ(F->arg(1)->numUses(), 1u);
+}
+
+TEST(Casting, DynCastAndIsa) {
+  Module M;
+  Value *C = M.constI32(1);
+  EXPECT_TRUE(isa<ConstantInt>(C));
+  EXPECT_NE(dynCast<ConstantInt>(C), nullptr);
+  EXPECT_EQ(dynCast<ConstantFP>(C), nullptr);
+}
+
+TEST(FunctionValue, RoundTrips) {
+  Module M;
+  Function *F = M.createFunction("callee", Type::voidTy(), {});
+  EXPECT_EQ(Function::fromValue(F->asValue()), F);
+  EXPECT_EQ(Function::fromValue(M.constI32(0)), nullptr);
+  EXPECT_TRUE(F->asValue()->type().isPointer());
+}
+
+TEST(Globals, ScalarInitAndZeroInit) {
+  Module M;
+  GlobalVariable *G = M.createGlobal("g", AddrSpace::Shared, 16);
+  EXPECT_TRUE(G->isZeroInit());
+  G->setScalarInit(0xAABB, 4);
+  EXPECT_FALSE(G->isZeroInit());
+  EXPECT_EQ(G->initializer().size(), 16u);
+  EXPECT_EQ(G->initializer()[0], 0xBB);
+  EXPECT_EQ(G->initializer()[1], 0xAA);
+}
+
+TEST(Module, EraseGlobalRequiresNoUses) {
+  Module M;
+  GlobalVariable *G = M.createGlobal("g", AddrSpace::Global, 8);
+  M.eraseGlobal(G);
+  EXPECT_EQ(M.findGlobal("g"), nullptr);
+}
+
+TEST(Module, FunctionLookupAndRename) {
+  Module M;
+  Function *F = M.createFunction("old_name", Type::voidTy(), {});
+  EXPECT_EQ(M.findFunction("old_name"), F);
+  M.renameFunction(F, "new_name");
+  EXPECT_EQ(M.findFunction("old_name"), nullptr);
+  EXPECT_EQ(M.findFunction("new_name"), F);
+}
+
+} // namespace
+} // namespace codesign::ir

@@ -1,0 +1,126 @@
+#include "ir/IRBuilder.hpp"
+#include "ir/Verifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codesign::ir {
+namespace {
+
+TEST(Verifier, MissingTerminator) {
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {});
+  F->createBlock("entry"); // left empty
+  auto Errors = verifyFunction(*F);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, UseBeforeDefInBlock) {
+  Module M;
+  Function *F = M.createFunction("f", Type::i32(), {Type::i32()});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  Value *A = B.add(F->arg(0), F->arg(0));
+  Value *C = B.add(A, F->arg(0));
+  B.ret(C);
+  // Manually move C before A to break ordering.
+  auto Owned = BB->detach(cast<Instruction>(C));
+  BB->insertAt(0, std::move(Owned));
+  auto Errors = verifyFunction(*F);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("use before def"), std::string::npos);
+}
+
+TEST(Verifier, DefMustDominateUseAcrossBlocks) {
+  Module M;
+  Function *F = M.createFunction("f", Type::i32(), {Type::i1(), Type::i32()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Join = F->createBlock("join");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.condBr(F->arg(0), Then, Join);
+  B.setInsertPoint(Then);
+  Value *OnlyInThen = B.add(F->arg(1), F->arg(1));
+  B.br(Join);
+  B.setInsertPoint(Join);
+  B.ret(OnlyInThen); // invalid: 'then' does not dominate 'join'
+  auto Errors = verifyFunction(*F);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("dominate"), std::string::npos);
+}
+
+TEST(Verifier, PhiIncomingMustMatchPreds) {
+  Module M;
+  Function *F = M.createFunction("f", Type::i32(), {Type::i1()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *Join = F->createBlock("join");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.condBr(F->arg(0), A, Join);
+  B.setInsertPoint(A);
+  B.br(Join);
+  B.setInsertPoint(Join);
+  Instruction *P = B.phi(Type::i32());
+  P->addIncoming(M.constI32(1), Entry); // missing incoming from A
+  B.ret(P);
+  auto Errors = verifyFunction(*F);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("phi"), std::string::npos);
+}
+
+TEST(Verifier, BinopTypeMismatchViaRawConstruction) {
+  Module M;
+  Function *F = M.createFunction("f", Type::i32(), {Type::i32()});
+  BasicBlock *BB = F->createBlock("entry");
+  // Bypass the builder to create an ill-typed instruction.
+  auto Bad = std::make_unique<Instruction>(Opcode::Add, Type::i32());
+  Bad->addOperand(F->arg(0));
+  Bad->addOperand(M.constI64(1)); // wrong width
+  Instruction *BadPtr = BB->append(std::move(Bad));
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  B.ret(BadPtr);
+  auto Errors = verifyFunction(*F);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("binop"), std::string::npos);
+}
+
+TEST(Verifier, CallArgumentCountChecked) {
+  Module M;
+  Function *Callee = M.createFunction("callee", Type::voidTy(), {Type::i32()});
+  Function *F = M.createFunction("f", Type::voidTy(), {});
+  BasicBlock *BB = F->createBlock("entry");
+  auto Call = std::make_unique<Instruction>(Opcode::Call, Type::voidTy());
+  Call->addOperand(Callee->asValue()); // no arguments supplied
+  BB->append(std::move(Call));
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  B.retVoid();
+  auto Errors = verifyFunction(*F);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("argument count"), std::string::npos);
+}
+
+TEST(Verifier, KernelDeclarationRejectedAtModuleLevel) {
+  Module M;
+  Function *K = M.createFunction("kern", Type::voidTy(), {});
+  K->addAttr(FnAttr::Kernel);
+  auto Errors = verifyModule(M);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("no body"), std::string::npos);
+}
+
+TEST(Verifier, ValidModulePasses) {
+  Module M;
+  Function *F = M.createFunction("ok", Type::i32(), {Type::i32()});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.ret(B.mul(F->arg(0), B.i32(3)));
+  EXPECT_TRUE(verifyModule(M).empty());
+}
+
+} // namespace
+} // namespace codesign::ir

@@ -1,0 +1,45 @@
+#include "support/Error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codesign {
+namespace {
+
+TEST(Expected, HoldsValue) {
+  Expected<int> E(42);
+  ASSERT_TRUE(E.hasValue());
+  EXPECT_EQ(E.value(), 42);
+  EXPECT_EQ(*E, 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> E(makeError("bad ", "thing"));
+  ASSERT_FALSE(E.hasValue());
+  EXPECT_EQ(E.error().message(), "bad thing");
+}
+
+TEST(Expected, TakeValueMovesOut) {
+  Expected<std::string> E(std::string("payload"));
+  std::string S = E.takeValue();
+  EXPECT_EQ(S, "payload");
+}
+
+TEST(Expected, BoolConversion) {
+  Expected<int> Good(1);
+  Expected<int> Bad(Error("x"));
+  EXPECT_TRUE(static_cast<bool>(Good));
+  EXPECT_FALSE(static_cast<bool>(Bad));
+}
+
+TEST(Expected, WorksWithMoveOnlyTypes) {
+  Expected<std::unique_ptr<int>> E(std::make_unique<int>(7));
+  ASSERT_TRUE(E.hasValue());
+  EXPECT_EQ(**E, 7);
+}
+
+TEST(FatalError, AssertMacroAborts) {
+  EXPECT_DEATH(CODESIGN_ASSERT(false, "deliberate"), "deliberate");
+}
+
+} // namespace
+} // namespace codesign

@@ -1,0 +1,65 @@
+#include "support/Rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace codesign {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A(), B());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += (A() == B());
+  EXPECT_LT(Same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(9);
+  std::set<std::int64_t> Seen;
+  for (int I = 0; I < 2000; ++I) {
+    std::int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u) << "all values in [-3,3] should appear";
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng R(11);
+  double Sum = 0;
+  constexpr int N = 10000;
+  for (int I = 0; I < N; ++I) {
+    double U = R.uniform();
+    ASSERT_GE(U, 0.0);
+    ASSERT_LT(U, 1.0);
+    Sum += U;
+  }
+  EXPECT_NEAR(Sum / N, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng R(13);
+  int Hits = 0;
+  constexpr int N = 10000;
+  for (int I = 0; I < N; ++I)
+    Hits += R.chance(0.25);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.25, 0.03);
+}
+
+} // namespace
+} // namespace codesign

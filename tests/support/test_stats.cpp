@@ -1,0 +1,48 @@
+#include "support/Stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codesign {
+namespace {
+
+TEST(StreamingStats, EmptyIsSane) {
+  StreamingStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.stddev(), 0.0);
+}
+
+TEST(StreamingStats, MeanAndSum) {
+  StreamingStats S;
+  for (double X : {1.0, 2.0, 3.0, 4.0})
+    S.add(X);
+  EXPECT_EQ(S.count(), 4u);
+  EXPECT_DOUBLE_EQ(S.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(S.sum(), 10.0);
+}
+
+TEST(StreamingStats, MinMax) {
+  StreamingStats S;
+  for (double X : {3.0, -1.0, 7.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.min(), -1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 7.0);
+}
+
+TEST(StreamingStats, StdDevMatchesClosedForm) {
+  StreamingStats S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  // Sample stddev of this classic data set is sqrt(32/7).
+  EXPECT_NEAR(S.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StreamingStats, SingleObservationHasZeroSpread) {
+  StreamingStats S;
+  S.add(42.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 42.0);
+}
+
+} // namespace
+} // namespace codesign

@@ -1,0 +1,41 @@
+#include "support/StringUtils.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codesign {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyPieces) {
+  auto Parts = splitString("a,,b", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[1], "");
+  EXPECT_EQ(Parts[2], "b");
+}
+
+TEST(Strings, SplitSingle) {
+  auto Parts = splitString("abc", ',');
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0], "abc");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("__kmpc_parallel", "__kmpc_"));
+  EXPECT_FALSE(startsWith("_kmpc", "__kmpc_"));
+  EXPECT_TRUE(endsWith("kernel.spmd", ".spmd"));
+  EXPECT_FALSE(endsWith("x", ".spmd"));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x \t\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ","), "");
+}
+
+} // namespace
+} // namespace codesign

@@ -1,0 +1,56 @@
+#include "support/Table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codesign {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table T({"Build", "Time"});
+  T.startRow();
+  T.cell("Old RT");
+  T.cell(1.237, 3);
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("Build"), std::string::npos);
+  EXPECT_NE(Out.find("Old RT"), std::string::npos);
+  EXPECT_NE(Out.find("1.237"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 1u);
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table T({"A", "B"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "22"});
+  std::string Out = T.render();
+  // Every line must have the same length (fixed-width layout).
+  std::size_t FirstLen = Out.find('\n');
+  std::size_t Pos = 0;
+  while (Pos < Out.size()) {
+    std::size_t End = Out.find('\n', Pos);
+    if (End == std::string::npos)
+      break;
+    EXPECT_EQ(End - Pos, FirstLen);
+    Pos = End + 1;
+  }
+}
+
+TEST(Table, IntAndUnsignedCells) {
+  Table T({"n", "u"});
+  T.startRow();
+  T.cell(std::int64_t{-5});
+  T.cell(std::uint64_t{7});
+  EXPECT_NE(T.render().find("-5"), std::string::npos);
+}
+
+TEST(FormatHelpers, Bytes) {
+  EXPECT_EQ(formatBytes(8288), "8288B");
+  EXPECT_EQ(formatBytes(0), "0B");
+}
+
+TEST(FormatHelpers, DoublePrecision) {
+  EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(formatDouble(2.0, 3), "2.000");
+}
+
+} // namespace
+} // namespace codesign
