@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_resources.dir/fig11_resources.cpp.o"
+  "CMakeFiles/fig11_resources.dir/fig11_resources.cpp.o.d"
+  "fig11_resources"
+  "fig11_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_gridmini_gflops.dir/fig12_gridmini_gflops.cpp.o"
+  "CMakeFiles/fig12_gridmini_gflops.dir/fig12_gridmini_gflops.cpp.o.d"
+  "fig12_gridmini_gflops"
+  "fig12_gridmini_gflops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_gridmini_gflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

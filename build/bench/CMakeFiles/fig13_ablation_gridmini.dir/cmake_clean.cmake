@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ablation_gridmini.dir/fig13_ablation_gridmini.cpp.o"
+  "CMakeFiles/fig13_ablation_gridmini.dir/fig13_ablation_gridmini.cpp.o.d"
+  "fig13_ablation_gridmini"
+  "fig13_ablation_gridmini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ablation_gridmini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

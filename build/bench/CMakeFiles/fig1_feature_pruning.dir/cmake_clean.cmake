@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_feature_pruning.dir/fig1_feature_pruning.cpp.o"
+  "CMakeFiles/fig1_feature_pruning.dir/fig1_feature_pruning.cpp.o.d"
+  "fig1_feature_pruning"
+  "fig1_feature_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_feature_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_pipeline.cpp" "bench/CMakeFiles/micro_pipeline.dir/micro_pipeline.cpp.o" "gcc" "bench/CMakeFiles/micro_pipeline.dir/micro_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/codesign_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/codesign_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/codesign_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/codesign_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/oldrt/CMakeFiles/codesign_oldrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/codesign_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/codesign_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/codesign_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

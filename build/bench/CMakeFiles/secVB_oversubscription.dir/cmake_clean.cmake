@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secVB_oversubscription.dir/secVB_oversubscription.cpp.o"
+  "CMakeFiles/secVB_oversubscription.dir/secVB_oversubscription.cpp.o.d"
+  "secVB_oversubscription"
+  "secVB_oversubscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secVB_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secVC_optimization_effects.dir/secVC_optimization_effects.cpp.o"
+  "CMakeFiles/secVC_optimization_effects.dir/secVC_optimization_effects.cpp.o.d"
+  "secVC_optimization_effects"
+  "secVC_optimization_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secVC_optimization_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_tracing.dir/debug_tracing.cpp.o"
+  "CMakeFiles/debug_tracing.dir/debug_tracing.cpp.o.d"
+  "debug_tracing"
+  "debug_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

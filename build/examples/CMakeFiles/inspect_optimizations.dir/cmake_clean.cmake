@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_optimizations.dir/inspect_optimizations.cpp.o"
+  "CMakeFiles/inspect_optimizations.dir/inspect_optimizations.cpp.o.d"
+  "inspect_optimizations"
+  "inspect_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsbench_demo.dir/xsbench_demo.cpp.o"
+  "CMakeFiles/xsbench_demo.dir/xsbench_demo.cpp.o.d"
+  "xsbench_demo"
+  "xsbench_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsbench_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

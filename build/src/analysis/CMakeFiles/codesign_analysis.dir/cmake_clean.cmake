@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_analysis.dir/CallGraph.cpp.o"
+  "CMakeFiles/codesign_analysis.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/codesign_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/codesign_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/codesign_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/codesign_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/codesign_analysis.dir/Reachability.cpp.o"
+  "CMakeFiles/codesign_analysis.dir/Reachability.cpp.o.d"
+  "libcodesign_analysis.a"
+  "libcodesign_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_apps.dir/AppCommon.cpp.o"
+  "CMakeFiles/codesign_apps.dir/AppCommon.cpp.o.d"
+  "CMakeFiles/codesign_apps.dir/GridMini.cpp.o"
+  "CMakeFiles/codesign_apps.dir/GridMini.cpp.o.d"
+  "CMakeFiles/codesign_apps.dir/MiniFMM.cpp.o"
+  "CMakeFiles/codesign_apps.dir/MiniFMM.cpp.o.d"
+  "CMakeFiles/codesign_apps.dir/RSBench.cpp.o"
+  "CMakeFiles/codesign_apps.dir/RSBench.cpp.o.d"
+  "CMakeFiles/codesign_apps.dir/TestSNAP.cpp.o"
+  "CMakeFiles/codesign_apps.dir/TestSNAP.cpp.o.d"
+  "CMakeFiles/codesign_apps.dir/XSBench.cpp.o"
+  "CMakeFiles/codesign_apps.dir/XSBench.cpp.o.d"
+  "libcodesign_apps.a"
+  "libcodesign_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

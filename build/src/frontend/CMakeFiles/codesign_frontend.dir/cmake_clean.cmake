@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_frontend.dir/Codegen.cpp.o"
+  "CMakeFiles/codesign_frontend.dir/Codegen.cpp.o.d"
+  "CMakeFiles/codesign_frontend.dir/Driver.cpp.o"
+  "CMakeFiles/codesign_frontend.dir/Driver.cpp.o.d"
+  "CMakeFiles/codesign_frontend.dir/TargetCompiler.cpp.o"
+  "CMakeFiles/codesign_frontend.dir/TargetCompiler.cpp.o.d"
+  "libcodesign_frontend.a"
+  "libcodesign_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

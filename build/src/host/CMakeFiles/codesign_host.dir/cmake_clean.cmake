@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_host.dir/HostRuntime.cpp.o"
+  "CMakeFiles/codesign_host.dir/HostRuntime.cpp.o.d"
+  "libcodesign_host.a"
+  "libcodesign_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_ir.dir/Clone.cpp.o"
+  "CMakeFiles/codesign_ir.dir/Clone.cpp.o.d"
+  "CMakeFiles/codesign_ir.dir/IR.cpp.o"
+  "CMakeFiles/codesign_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/codesign_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/codesign_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/codesign_ir.dir/Linker.cpp.o"
+  "CMakeFiles/codesign_ir.dir/Linker.cpp.o.d"
+  "CMakeFiles/codesign_ir.dir/Printer.cpp.o"
+  "CMakeFiles/codesign_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/codesign_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/codesign_ir.dir/Verifier.cpp.o.d"
+  "libcodesign_ir.a"
+  "libcodesign_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

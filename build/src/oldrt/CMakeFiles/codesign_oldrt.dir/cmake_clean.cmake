@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_oldrt.dir/OldDeviceRTL.cpp.o"
+  "CMakeFiles/codesign_oldrt.dir/OldDeviceRTL.cpp.o.d"
+  "libcodesign_oldrt.a"
+  "libcodesign_oldrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_oldrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/AccessAnalysis.cpp" "src/opt/CMakeFiles/codesign_opt.dir/AccessAnalysis.cpp.o" "gcc" "src/opt/CMakeFiles/codesign_opt.dir/AccessAnalysis.cpp.o.d"
+  "/root/repo/src/opt/BarrierElim.cpp" "src/opt/CMakeFiles/codesign_opt.dir/BarrierElim.cpp.o" "gcc" "src/opt/CMakeFiles/codesign_opt.dir/BarrierElim.cpp.o.d"
+  "/root/repo/src/opt/ConstantFold.cpp" "src/opt/CMakeFiles/codesign_opt.dir/ConstantFold.cpp.o" "gcc" "src/opt/CMakeFiles/codesign_opt.dir/ConstantFold.cpp.o.d"
+  "/root/repo/src/opt/DCE.cpp" "src/opt/CMakeFiles/codesign_opt.dir/DCE.cpp.o" "gcc" "src/opt/CMakeFiles/codesign_opt.dir/DCE.cpp.o.d"
+  "/root/repo/src/opt/GlobalizationElim.cpp" "src/opt/CMakeFiles/codesign_opt.dir/GlobalizationElim.cpp.o" "gcc" "src/opt/CMakeFiles/codesign_opt.dir/GlobalizationElim.cpp.o.d"
+  "/root/repo/src/opt/Inliner.cpp" "src/opt/CMakeFiles/codesign_opt.dir/Inliner.cpp.o" "gcc" "src/opt/CMakeFiles/codesign_opt.dir/Inliner.cpp.o.d"
+  "/root/repo/src/opt/LoadForwarding.cpp" "src/opt/CMakeFiles/codesign_opt.dir/LoadForwarding.cpp.o" "gcc" "src/opt/CMakeFiles/codesign_opt.dir/LoadForwarding.cpp.o.d"
+  "/root/repo/src/opt/PipelineRun.cpp" "src/opt/CMakeFiles/codesign_opt.dir/PipelineRun.cpp.o" "gcc" "src/opt/CMakeFiles/codesign_opt.dir/PipelineRun.cpp.o.d"
+  "/root/repo/src/opt/SPMDization.cpp" "src/opt/CMakeFiles/codesign_opt.dir/SPMDization.cpp.o" "gcc" "src/opt/CMakeFiles/codesign_opt.dir/SPMDization.cpp.o.d"
+  "/root/repo/src/opt/SimplifyCFG.cpp" "src/opt/CMakeFiles/codesign_opt.dir/SimplifyCFG.cpp.o" "gcc" "src/opt/CMakeFiles/codesign_opt.dir/SimplifyCFG.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/codesign_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/codesign_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/codesign_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/codesign_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_opt.dir/AccessAnalysis.cpp.o"
+  "CMakeFiles/codesign_opt.dir/AccessAnalysis.cpp.o.d"
+  "CMakeFiles/codesign_opt.dir/BarrierElim.cpp.o"
+  "CMakeFiles/codesign_opt.dir/BarrierElim.cpp.o.d"
+  "CMakeFiles/codesign_opt.dir/ConstantFold.cpp.o"
+  "CMakeFiles/codesign_opt.dir/ConstantFold.cpp.o.d"
+  "CMakeFiles/codesign_opt.dir/DCE.cpp.o"
+  "CMakeFiles/codesign_opt.dir/DCE.cpp.o.d"
+  "CMakeFiles/codesign_opt.dir/GlobalizationElim.cpp.o"
+  "CMakeFiles/codesign_opt.dir/GlobalizationElim.cpp.o.d"
+  "CMakeFiles/codesign_opt.dir/Inliner.cpp.o"
+  "CMakeFiles/codesign_opt.dir/Inliner.cpp.o.d"
+  "CMakeFiles/codesign_opt.dir/LoadForwarding.cpp.o"
+  "CMakeFiles/codesign_opt.dir/LoadForwarding.cpp.o.d"
+  "CMakeFiles/codesign_opt.dir/PipelineRun.cpp.o"
+  "CMakeFiles/codesign_opt.dir/PipelineRun.cpp.o.d"
+  "CMakeFiles/codesign_opt.dir/SPMDization.cpp.o"
+  "CMakeFiles/codesign_opt.dir/SPMDization.cpp.o.d"
+  "CMakeFiles/codesign_opt.dir/SimplifyCFG.cpp.o"
+  "CMakeFiles/codesign_opt.dir/SimplifyCFG.cpp.o.d"
+  "libcodesign_opt.a"
+  "libcodesign_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_rt.dir/DeviceRTL.cpp.o"
+  "CMakeFiles/codesign_rt.dir/DeviceRTL.cpp.o.d"
+  "libcodesign_rt.a"
+  "libcodesign_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

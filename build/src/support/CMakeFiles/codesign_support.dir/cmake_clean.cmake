@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_support.dir/Error.cpp.o"
+  "CMakeFiles/codesign_support.dir/Error.cpp.o.d"
+  "CMakeFiles/codesign_support.dir/Logging.cpp.o"
+  "CMakeFiles/codesign_support.dir/Logging.cpp.o.d"
+  "CMakeFiles/codesign_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/codesign_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/codesign_support.dir/Table.cpp.o"
+  "CMakeFiles/codesign_support.dir/Table.cpp.o.d"
+  "libcodesign_support.a"
+  "libcodesign_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

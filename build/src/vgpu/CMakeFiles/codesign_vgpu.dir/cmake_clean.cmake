@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_vgpu.dir/Interpreter.cpp.o"
+  "CMakeFiles/codesign_vgpu.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/codesign_vgpu.dir/KernelStats.cpp.o"
+  "CMakeFiles/codesign_vgpu.dir/KernelStats.cpp.o.d"
+  "CMakeFiles/codesign_vgpu.dir/Memory.cpp.o"
+  "CMakeFiles/codesign_vgpu.dir/Memory.cpp.o.d"
+  "libcodesign_vgpu.a"
+  "libcodesign_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

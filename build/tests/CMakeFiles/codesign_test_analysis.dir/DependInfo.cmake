@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_callgraph.cpp" "tests/CMakeFiles/codesign_test_analysis.dir/analysis/test_callgraph.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_analysis.dir/analysis/test_callgraph.cpp.o.d"
+  "/root/repo/tests/analysis/test_dominators.cpp" "tests/CMakeFiles/codesign_test_analysis.dir/analysis/test_dominators.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_analysis.dir/analysis/test_dominators.cpp.o.d"
+  "/root/repo/tests/analysis/test_liveness.cpp" "tests/CMakeFiles/codesign_test_analysis.dir/analysis/test_liveness.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_analysis.dir/analysis/test_liveness.cpp.o.d"
+  "/root/repo/tests/analysis/test_reachability.cpp" "tests/CMakeFiles/codesign_test_analysis.dir/analysis/test_reachability.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_analysis.dir/analysis/test_reachability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/codesign_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/codesign_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/codesign_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

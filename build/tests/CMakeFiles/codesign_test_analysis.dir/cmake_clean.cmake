@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_test_analysis.dir/analysis/test_callgraph.cpp.o"
+  "CMakeFiles/codesign_test_analysis.dir/analysis/test_callgraph.cpp.o.d"
+  "CMakeFiles/codesign_test_analysis.dir/analysis/test_dominators.cpp.o"
+  "CMakeFiles/codesign_test_analysis.dir/analysis/test_dominators.cpp.o.d"
+  "CMakeFiles/codesign_test_analysis.dir/analysis/test_liveness.cpp.o"
+  "CMakeFiles/codesign_test_analysis.dir/analysis/test_liveness.cpp.o.d"
+  "CMakeFiles/codesign_test_analysis.dir/analysis/test_reachability.cpp.o"
+  "CMakeFiles/codesign_test_analysis.dir/analysis/test_reachability.cpp.o.d"
+  "codesign_test_analysis"
+  "codesign_test_analysis.pdb"
+  "codesign_test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

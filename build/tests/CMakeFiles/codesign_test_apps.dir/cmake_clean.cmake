@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_test_apps.dir/apps/test_apps.cpp.o"
+  "CMakeFiles/codesign_test_apps.dir/apps/test_apps.cpp.o.d"
+  "codesign_test_apps"
+  "codesign_test_apps.pdb"
+  "codesign_test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_test_frontend.dir/frontend/test_end_to_end.cpp.o"
+  "CMakeFiles/codesign_test_frontend.dir/frontend/test_end_to_end.cpp.o.d"
+  "codesign_test_frontend"
+  "codesign_test_frontend.pdb"
+  "codesign_test_frontend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_test_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/host/test_host_runtime.cpp" "tests/CMakeFiles/codesign_test_host.dir/host/test_host_runtime.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_host.dir/host/test_host_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/codesign_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/codesign_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/codesign_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/codesign_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/codesign_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

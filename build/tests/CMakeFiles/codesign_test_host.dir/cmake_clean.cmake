@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_test_host.dir/host/test_host_runtime.cpp.o"
+  "CMakeFiles/codesign_test_host.dir/host/test_host_runtime.cpp.o.d"
+  "codesign_test_host"
+  "codesign_test_host.pdb"
+  "codesign_test_host[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_test_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

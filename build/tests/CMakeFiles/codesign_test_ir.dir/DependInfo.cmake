@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/test_builder.cpp" "tests/CMakeFiles/codesign_test_ir.dir/ir/test_builder.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_ir.dir/ir/test_builder.cpp.o.d"
+  "/root/repo/tests/ir/test_clone.cpp" "tests/CMakeFiles/codesign_test_ir.dir/ir/test_clone.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_ir.dir/ir/test_clone.cpp.o.d"
+  "/root/repo/tests/ir/test_linker.cpp" "tests/CMakeFiles/codesign_test_ir.dir/ir/test_linker.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_ir.dir/ir/test_linker.cpp.o.d"
+  "/root/repo/tests/ir/test_printer.cpp" "tests/CMakeFiles/codesign_test_ir.dir/ir/test_printer.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_ir.dir/ir/test_printer.cpp.o.d"
+  "/root/repo/tests/ir/test_types.cpp" "tests/CMakeFiles/codesign_test_ir.dir/ir/test_types.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_ir.dir/ir/test_types.cpp.o.d"
+  "/root/repo/tests/ir/test_values.cpp" "tests/CMakeFiles/codesign_test_ir.dir/ir/test_values.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_ir.dir/ir/test_values.cpp.o.d"
+  "/root/repo/tests/ir/test_verifier.cpp" "tests/CMakeFiles/codesign_test_ir.dir/ir/test_verifier.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_ir.dir/ir/test_verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/codesign_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/codesign_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

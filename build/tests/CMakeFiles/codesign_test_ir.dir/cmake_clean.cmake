@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_test_ir.dir/ir/test_builder.cpp.o"
+  "CMakeFiles/codesign_test_ir.dir/ir/test_builder.cpp.o.d"
+  "CMakeFiles/codesign_test_ir.dir/ir/test_clone.cpp.o"
+  "CMakeFiles/codesign_test_ir.dir/ir/test_clone.cpp.o.d"
+  "CMakeFiles/codesign_test_ir.dir/ir/test_linker.cpp.o"
+  "CMakeFiles/codesign_test_ir.dir/ir/test_linker.cpp.o.d"
+  "CMakeFiles/codesign_test_ir.dir/ir/test_printer.cpp.o"
+  "CMakeFiles/codesign_test_ir.dir/ir/test_printer.cpp.o.d"
+  "CMakeFiles/codesign_test_ir.dir/ir/test_types.cpp.o"
+  "CMakeFiles/codesign_test_ir.dir/ir/test_types.cpp.o.d"
+  "CMakeFiles/codesign_test_ir.dir/ir/test_values.cpp.o"
+  "CMakeFiles/codesign_test_ir.dir/ir/test_values.cpp.o.d"
+  "CMakeFiles/codesign_test_ir.dir/ir/test_verifier.cpp.o"
+  "CMakeFiles/codesign_test_ir.dir/ir/test_verifier.cpp.o.d"
+  "codesign_test_ir"
+  "codesign_test_ir.pdb"
+  "codesign_test_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_test_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_test_opt.dir/opt/test_codesign.cpp.o"
+  "CMakeFiles/codesign_test_opt.dir/opt/test_codesign.cpp.o.d"
+  "CMakeFiles/codesign_test_opt.dir/opt/test_passes.cpp.o"
+  "CMakeFiles/codesign_test_opt.dir/opt/test_passes.cpp.o.d"
+  "CMakeFiles/codesign_test_opt.dir/opt/test_spmdization.cpp.o"
+  "CMakeFiles/codesign_test_opt.dir/opt/test_spmdization.cpp.o.d"
+  "codesign_test_opt"
+  "codesign_test_opt.pdb"
+  "codesign_test_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_test_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_test_support.dir/support/test_error.cpp.o"
+  "CMakeFiles/codesign_test_support.dir/support/test_error.cpp.o.d"
+  "CMakeFiles/codesign_test_support.dir/support/test_rng.cpp.o"
+  "CMakeFiles/codesign_test_support.dir/support/test_rng.cpp.o.d"
+  "CMakeFiles/codesign_test_support.dir/support/test_stats.cpp.o"
+  "CMakeFiles/codesign_test_support.dir/support/test_stats.cpp.o.d"
+  "CMakeFiles/codesign_test_support.dir/support/test_strings.cpp.o"
+  "CMakeFiles/codesign_test_support.dir/support/test_strings.cpp.o.d"
+  "CMakeFiles/codesign_test_support.dir/support/test_table.cpp.o"
+  "CMakeFiles/codesign_test_support.dir/support/test_table.cpp.o.d"
+  "codesign_test_support"
+  "codesign_test_support.pdb"
+  "codesign_test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

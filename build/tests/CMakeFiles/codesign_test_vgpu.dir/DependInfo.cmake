@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vgpu/test_barriers.cpp" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_barriers.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_barriers.cpp.o.d"
+  "/root/repo/tests/vgpu/test_interpreter.cpp" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_interpreter.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_interpreter.cpp.o.d"
+  "/root/repo/tests/vgpu/test_memory.cpp" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_memory.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_memory.cpp.o.d"
+  "/root/repo/tests/vgpu/test_safety.cpp" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_safety.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_safety.cpp.o.d"
+  "/root/repo/tests/vgpu/test_stats.cpp" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_stats.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vgpu/CMakeFiles/codesign_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/codesign_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/codesign_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/codesign_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_barriers.cpp.o"
+  "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_barriers.cpp.o.d"
+  "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_interpreter.cpp.o"
+  "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_interpreter.cpp.o.d"
+  "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_memory.cpp.o"
+  "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_memory.cpp.o.d"
+  "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_safety.cpp.o"
+  "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_safety.cpp.o.d"
+  "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_stats.cpp.o"
+  "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_stats.cpp.o.d"
+  "codesign_test_vgpu"
+  "codesign_test_vgpu.pdb"
+  "codesign_test_vgpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_test_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

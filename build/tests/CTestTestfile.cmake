@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/codesign_test_support[1]_include.cmake")
+include("/root/repo/build/tests/codesign_test_ir[1]_include.cmake")
+include("/root/repo/build/tests/codesign_test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/codesign_test_vgpu[1]_include.cmake")
+include("/root/repo/build/tests/codesign_test_frontend[1]_include.cmake")
+include("/root/repo/build/tests/codesign_test_opt[1]_include.cmake")
+include("/root/repo/build/tests/codesign_test_host[1]_include.cmake")
+include("/root/repo/build/tests/codesign_test_apps[1]_include.cmake")
