@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "apps/AppCommon.hpp"
+#include "support/Stats.hpp"
 #include "support/Table.hpp"
 
 namespace codesign::bench {
@@ -54,6 +55,19 @@ inline double relativePerf(const std::vector<AppRunResult> &R,
   if (!Config.Ok || Config.Metrics.KernelCycles == 0)
     return 0.0;
   return Base / static_cast<double>(Config.Metrics.KernelCycles);
+}
+
+/// Print the process-wide counter registry (kernel-cache hit rates and any
+/// other subsystem counts) as a footer, so every figure bench reports how
+/// much compilation the kernel cache absorbed.
+inline void printCounterFooter() {
+  const auto Snap = Counters::global().snapshot();
+  if (Snap.empty())
+    return;
+  std::printf("---\ncounters:\n");
+  for (const auto &[Name, Value] : Snap)
+    std::printf("  %-28s %llu\n", Name.c_str(),
+                static_cast<unsigned long long>(Value));
 }
 
 /// Render one app's Figure-11 rows into the table.

@@ -90,5 +90,6 @@ int main() {
     report("10d", "MiniFMM (dual-tree traversal, nested tasks)", App,
            /*IncludeAssumed=*/true);
   }
+  codesign::bench::printCounterFooter();
   return 0;
 }

@@ -73,5 +73,6 @@ int main() {
   }
 
   T.print(std::cout);
+  codesign::bench::printCounterFooter();
   return 0;
 }

@@ -47,5 +47,6 @@ int main() {
     }
   }
   T.print(std::cout);
+  codesign::bench::printCounterFooter();
   return 0;
 }

@@ -86,5 +86,6 @@ int main() {
     T.cell(Cycles / FullCycles, 2);
   }
   T.print(std::cout);
+  codesign::bench::printCounterFooter();
   return 0;
 }

@@ -112,5 +112,6 @@ int main() {
               "nothing in release\nbuilds — the paths are statically dead and "
               "pruned (Figure 1).\n",
               std::string(rt::DebugKindName).c_str());
+  codesign::bench::printCounterFooter();
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "frontend/Driver.hpp"
+#include "frontend/KernelCache.hpp"
 #include "frontend/TargetCompiler.hpp"
 #include "vgpu/VirtualGPU.hpp"
 
@@ -66,6 +67,34 @@ void BM_FullOptPipeline(benchmark::State &State) {
 }
 BENCHMARK(BM_FullOptPipeline);
 
+void BM_CompileKernelUncached(benchmark::State &State) {
+  // Full frontend+pipeline per iteration, cache bypassed: the honest cost
+  // of one compilation.
+  vgpu::VirtualGPU GPU;
+  const std::int64_t BodyId = registerBody(GPU);
+  CompileOptions Options = CompileOptions::newRT();
+  Options.UseKernelCache = false;
+  for (auto _ : State) {
+    auto CK = compileKernel(saxpySpec(BodyId), Options, GPU.registry());
+    benchmark::DoNotOptimize(CK.hasValue());
+  }
+}
+BENCHMARK(BM_CompileKernelUncached);
+
+void BM_CompileKernelCached(benchmark::State &State) {
+  // Every iteration after the first is a content-addressed cache hit.
+  vgpu::VirtualGPU GPU;
+  const std::int64_t BodyId = registerBody(GPU);
+  frontend::KernelCache::global().clear();
+  for (auto _ : State) {
+    auto CK = compileKernel(saxpySpec(BodyId), CompileOptions::newRT(),
+                            GPU.registry());
+    benchmark::DoNotOptimize(CK.hasValue());
+  }
+  frontend::KernelCache::global().clear();
+}
+BENCHMARK(BM_CompileKernelCached);
+
 void BM_InterpreterOptimized(benchmark::State &State) {
   vgpu::VirtualGPU GPU;
   const std::int64_t BodyId = registerBody(GPU);
@@ -101,6 +130,28 @@ void BM_InterpreterUnoptimized(benchmark::State &State) {
   State.SetItemsProcessed(static_cast<std::int64_t>(State.iterations()) * N);
 }
 BENCHMARK(BM_InterpreterUnoptimized);
+
+void BM_InterpreterHostThreads(benchmark::State &State) {
+  // Wall-clock effect of the parallel launch engine; the modeled metrics
+  // are bit-identical across arg values (see tests/apps/test_determinism).
+  vgpu::DeviceConfig Cfg;
+  Cfg.HostThreads = static_cast<std::uint32_t>(State.range(0));
+  vgpu::VirtualGPU GPU(Cfg);
+  const std::int64_t BodyId = registerBody(GPU);
+  auto CK = compileKernel(saxpySpec(BodyId),
+                          CompileOptions::newRTNoAssumptions(),
+                          GPU.registry());
+  auto Image = GPU.loadImage(*CK->M);
+  constexpr std::uint64_t N = 1 << 16;
+  vgpu::DeviceAddr Buf = GPU.allocate(N * 8);
+  std::uint64_t Args[] = {Buf.Bits, N};
+  for (auto _ : State) {
+    auto R = GPU.launch(*Image, CK->Kernel, Args, 64, 64);
+    benchmark::DoNotOptimize(R.Ok);
+  }
+  State.SetItemsProcessed(static_cast<std::int64_t>(State.iterations()) * N);
+}
+BENCHMARK(BM_InterpreterHostThreads)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace
 

@@ -94,5 +94,6 @@ int main() {
     T2.cell(formatDouble((Cyc - MicroBase) / MicroBase * 100.0, 2) + "%");
   }
   T2.print(std::cout);
+  codesign::bench::printCounterFooter();
   return 0;
 }

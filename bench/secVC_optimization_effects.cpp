@@ -85,5 +85,6 @@ int main() {
     apps::MiniFMM App(GPU, Cfg);
     report("MiniFMM", App);
   }
+  codesign::bench::printCounterFooter();
   return 0;
 }

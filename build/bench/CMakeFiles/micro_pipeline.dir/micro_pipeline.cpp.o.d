@@ -223,6 +223,10 @@ bench/CMakeFiles/micro_pipeline.dir/micro_pipeline.cpp.o: \
  /root/repo/src/support/Error.hpp /usr/include/c++/12/optional \
  /root/repo/src/ir/Module.hpp /root/repo/src/ir/Function.hpp \
  /root/repo/src/ir/BasicBlock.hpp /root/repo/src/ir/Global.hpp \
+ /root/repo/src/frontend/KernelCache.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/frontend/TargetCompiler.hpp \
  /root/repo/src/opt/Pipeline.hpp /root/repo/src/opt/Remark.hpp \
  /root/repo/src/vgpu/KernelStats.hpp /root/repo/src/vgpu/Metrics.hpp \

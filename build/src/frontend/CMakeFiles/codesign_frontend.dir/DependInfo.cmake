@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/frontend/Codegen.cpp" "src/frontend/CMakeFiles/codesign_frontend.dir/Codegen.cpp.o" "gcc" "src/frontend/CMakeFiles/codesign_frontend.dir/Codegen.cpp.o.d"
   "/root/repo/src/frontend/Driver.cpp" "src/frontend/CMakeFiles/codesign_frontend.dir/Driver.cpp.o" "gcc" "src/frontend/CMakeFiles/codesign_frontend.dir/Driver.cpp.o.d"
+  "/root/repo/src/frontend/KernelCache.cpp" "src/frontend/CMakeFiles/codesign_frontend.dir/KernelCache.cpp.o" "gcc" "src/frontend/CMakeFiles/codesign_frontend.dir/KernelCache.cpp.o.d"
   "/root/repo/src/frontend/TargetCompiler.cpp" "src/frontend/CMakeFiles/codesign_frontend.dir/TargetCompiler.cpp.o" "gcc" "src/frontend/CMakeFiles/codesign_frontend.dir/TargetCompiler.cpp.o.d"
   )
 

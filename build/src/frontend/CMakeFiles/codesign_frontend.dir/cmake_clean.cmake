@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/codesign_frontend.dir/Codegen.cpp.o.d"
   "CMakeFiles/codesign_frontend.dir/Driver.cpp.o"
   "CMakeFiles/codesign_frontend.dir/Driver.cpp.o.d"
+  "CMakeFiles/codesign_frontend.dir/KernelCache.cpp.o"
+  "CMakeFiles/codesign_frontend.dir/KernelCache.cpp.o.d"
   "CMakeFiles/codesign_frontend.dir/TargetCompiler.cpp.o"
   "CMakeFiles/codesign_frontend.dir/TargetCompiler.cpp.o.d"
   "libcodesign_frontend.a"

@@ -10,8 +10,10 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/Error.cpp" "src/support/CMakeFiles/codesign_support.dir/Error.cpp.o" "gcc" "src/support/CMakeFiles/codesign_support.dir/Error.cpp.o.d"
   "/root/repo/src/support/Logging.cpp" "src/support/CMakeFiles/codesign_support.dir/Logging.cpp.o" "gcc" "src/support/CMakeFiles/codesign_support.dir/Logging.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "src/support/CMakeFiles/codesign_support.dir/Stats.cpp.o" "gcc" "src/support/CMakeFiles/codesign_support.dir/Stats.cpp.o.d"
   "/root/repo/src/support/StringUtils.cpp" "src/support/CMakeFiles/codesign_support.dir/StringUtils.cpp.o" "gcc" "src/support/CMakeFiles/codesign_support.dir/StringUtils.cpp.o.d"
   "/root/repo/src/support/Table.cpp" "src/support/CMakeFiles/codesign_support.dir/Table.cpp.o" "gcc" "src/support/CMakeFiles/codesign_support.dir/Table.cpp.o.d"
+  "/root/repo/src/support/ThreadPool.cpp" "src/support/CMakeFiles/codesign_support.dir/ThreadPool.cpp.o" "gcc" "src/support/CMakeFiles/codesign_support.dir/ThreadPool.cpp.o.d"
   )
 
 # Targets to which this target links.

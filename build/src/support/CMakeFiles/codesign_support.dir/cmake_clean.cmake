@@ -3,10 +3,14 @@ file(REMOVE_RECURSE
   "CMakeFiles/codesign_support.dir/Error.cpp.o.d"
   "CMakeFiles/codesign_support.dir/Logging.cpp.o"
   "CMakeFiles/codesign_support.dir/Logging.cpp.o.d"
+  "CMakeFiles/codesign_support.dir/Stats.cpp.o"
+  "CMakeFiles/codesign_support.dir/Stats.cpp.o.d"
   "CMakeFiles/codesign_support.dir/StringUtils.cpp.o"
   "CMakeFiles/codesign_support.dir/StringUtils.cpp.o.d"
   "CMakeFiles/codesign_support.dir/Table.cpp.o"
   "CMakeFiles/codesign_support.dir/Table.cpp.o.d"
+  "CMakeFiles/codesign_support.dir/ThreadPool.cpp.o"
+  "CMakeFiles/codesign_support.dir/ThreadPool.cpp.o.d"
   "libcodesign_support.a"
   "libcodesign_support.pdb"
 )

@@ -221,10 +221,23 @@ src/vgpu/CMakeFiles/codesign_vgpu.dir/Interpreter.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/span \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /root/repo/src/vgpu/Address.hpp /root/repo/src/vgpu/Metrics.hpp \
  /root/repo/src/vgpu/NativeRegistry.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
- /root/repo/src/vgpu/KernelStats.hpp /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h
+ /root/repo/src/vgpu/KernelStats.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/support/ThreadPool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/thread

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/apps/test_apps.cpp" "tests/CMakeFiles/codesign_test_apps.dir/apps/test_apps.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_apps.dir/apps/test_apps.cpp.o.d"
+  "/root/repo/tests/apps/test_determinism.cpp" "tests/CMakeFiles/codesign_test_apps.dir/apps/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_apps.dir/apps/test_determinism.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/codesign_test_apps.dir/apps/test_apps.cpp.o"
   "CMakeFiles/codesign_test_apps.dir/apps/test_apps.cpp.o.d"
+  "CMakeFiles/codesign_test_apps.dir/apps/test_determinism.cpp.o"
+  "CMakeFiles/codesign_test_apps.dir/apps/test_determinism.cpp.o.d"
   "codesign_test_apps"
   "codesign_test_apps.pdb"
   "codesign_test_apps[1]_tests.cmake"

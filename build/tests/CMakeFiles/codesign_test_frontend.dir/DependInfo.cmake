@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/frontend/test_end_to_end.cpp" "tests/CMakeFiles/codesign_test_frontend.dir/frontend/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_frontend.dir/frontend/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/frontend/test_kernel_cache.cpp" "tests/CMakeFiles/codesign_test_frontend.dir/frontend/test_kernel_cache.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_frontend.dir/frontend/test_kernel_cache.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/codesign_test_frontend.dir/frontend/test_end_to_end.cpp.o"
   "CMakeFiles/codesign_test_frontend.dir/frontend/test_end_to_end.cpp.o.d"
+  "CMakeFiles/codesign_test_frontend.dir/frontend/test_kernel_cache.cpp.o"
+  "CMakeFiles/codesign_test_frontend.dir/frontend/test_kernel_cache.cpp.o.d"
   "codesign_test_frontend"
   "codesign_test_frontend.pdb"
   "codesign_test_frontend[1]_tests.cmake"

@@ -303,6 +303,8 @@ tests/CMakeFiles/codesign_test_frontend.dir/frontend/test_end_to_end.cpp.o: \
  /root/repo/src/vgpu/Memory.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/span \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/span \
  /root/repo/src/vgpu/Address.hpp /root/repo/src/vgpu/Metrics.hpp \
  /root/repo/src/vgpu/NativeRegistry.hpp

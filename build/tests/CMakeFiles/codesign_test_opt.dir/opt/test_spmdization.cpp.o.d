@@ -306,4 +306,6 @@ tests/CMakeFiles/codesign_test_opt.dir/opt/test_spmdization.cpp.o: \
  /root/repo/src/vgpu/DeviceConfig.hpp /root/repo/src/vgpu/Memory.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/span
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/span

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/support/test_stats.cpp" "tests/CMakeFiles/codesign_test_support.dir/support/test_stats.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_support.dir/support/test_stats.cpp.o.d"
   "/root/repo/tests/support/test_strings.cpp" "tests/CMakeFiles/codesign_test_support.dir/support/test_strings.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_support.dir/support/test_strings.cpp.o.d"
   "/root/repo/tests/support/test_table.cpp" "tests/CMakeFiles/codesign_test_support.dir/support/test_table.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_support.dir/support/test_table.cpp.o.d"
+  "/root/repo/tests/support/test_threadpool.cpp" "tests/CMakeFiles/codesign_test_support.dir/support/test_threadpool.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_support.dir/support/test_threadpool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/codesign_test_support.dir/support/test_strings.cpp.o.d"
   "CMakeFiles/codesign_test_support.dir/support/test_table.cpp.o"
   "CMakeFiles/codesign_test_support.dir/support/test_table.cpp.o.d"
+  "CMakeFiles/codesign_test_support.dir/support/test_threadpool.cpp.o"
+  "CMakeFiles/codesign_test_support.dir/support/test_threadpool.cpp.o.d"
   "codesign_test_support"
   "codesign_test_support.pdb"
   "codesign_test_support[1]_tests.cmake"

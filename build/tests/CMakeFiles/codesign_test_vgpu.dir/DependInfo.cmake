@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/vgpu/test_barriers.cpp" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_barriers.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_barriers.cpp.o.d"
   "/root/repo/tests/vgpu/test_interpreter.cpp" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_interpreter.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_interpreter.cpp.o.d"
   "/root/repo/tests/vgpu/test_memory.cpp" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_memory.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_memory.cpp.o.d"
+  "/root/repo/tests/vgpu/test_parallel_launch.cpp" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_parallel_launch.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_parallel_launch.cpp.o.d"
   "/root/repo/tests/vgpu/test_safety.cpp" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_safety.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_safety.cpp.o.d"
   "/root/repo/tests/vgpu/test_stats.cpp" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_stats.cpp.o" "gcc" "tests/CMakeFiles/codesign_test_vgpu.dir/vgpu/test_stats.cpp.o.d"
   )

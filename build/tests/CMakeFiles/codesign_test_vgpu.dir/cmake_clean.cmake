@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_interpreter.cpp.o.d"
   "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_memory.cpp.o"
   "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_memory.cpp.o.d"
+  "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_parallel_launch.cpp.o"
+  "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_parallel_launch.cpp.o.d"
   "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_safety.cpp.o"
   "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_safety.cpp.o.d"
   "CMakeFiles/codesign_test_vgpu.dir/vgpu/test_stats.cpp.o"

@@ -1,0 +1,52 @@
+//===- frontend/KernelCache.hpp - Content-addressed compiled-kernel cache --===//
+//
+// The benches recompile the same (spec, options) pairs many times — every
+// figure sweeps the same proxy kernels over the five build configurations.
+// This cache keys compiled kernels on the full content of the request: the
+// serialized KernelSpec, the names and declared register pressure of every
+// referenced native op, and every codegen/pipeline switch. The key is the
+// complete serialization (not a digest), so lookups cannot collide.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "frontend/TargetCompiler.hpp"
+
+namespace codesign::frontend {
+
+/// Process-wide cache of compiled kernels. Hits share the immutable module
+/// via CompiledKernel's shared_ptr; hit/miss totals are mirrored into
+/// support::Counters ("kernel-cache.hits" / "kernel-cache.misses").
+class KernelCache {
+public:
+  static KernelCache &global();
+
+  /// Build the content-addressed key for a compilation request.
+  static std::string key(const KernelSpec &Spec, const CompileOptions &Options,
+                         const vgpu::NativeRegistry &Registry);
+
+  /// Cached kernel for Key; nullopt on miss. Counts a hit or a miss.
+  std::optional<CompiledKernel> lookup(const std::string &Key);
+  /// Record a successful compilation under Key (failures are not cached).
+  void insert(const std::string &Key, const CompiledKernel &CK);
+
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::size_t size() const;
+  /// Drop every entry and zero the hit/miss counters (test isolation).
+  void clear();
+
+private:
+  mutable std::mutex Mutex;
+  std::unordered_map<std::string, CompiledKernel> Entries;
+  std::uint64_t Hits = 0;
+  std::uint64_t Misses = 0;
+};
+
+} // namespace codesign::frontend

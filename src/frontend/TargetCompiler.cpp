@@ -1,6 +1,7 @@
 #include "frontend/TargetCompiler.hpp"
 
 #include "frontend/Driver.hpp"
+#include "frontend/KernelCache.hpp"
 #include "ir/Verifier.hpp"
 
 namespace codesign::frontend {
@@ -43,6 +44,15 @@ CompileOptions CompileOptions::cuda() {
 Expected<CompiledKernel> compileKernel(const KernelSpec &Spec,
                                        const CompileOptions &Options,
                                        const vgpu::NativeRegistry &Registry) {
+  // Remark collection observes the pipeline as a side effect, so such
+  // requests must actually compile.
+  const bool Cacheable = Options.UseKernelCache && Options.Opt.Remarks == nullptr;
+  std::string Key;
+  if (Cacheable) {
+    Key = KernelCache::key(Spec, Options, Registry);
+    if (auto Cached = KernelCache::global().lookup(Key))
+      return *Cached;
+  }
   auto CG = emitKernel(Spec, Options.CG);
   if (!CG)
     return CG.error();
@@ -70,6 +80,8 @@ Expected<CompiledKernel> compileKernel(const KernelSpec &Spec,
   Out.Kernel = CG->Kernel;
   Out.M = std::move(CG->AppModule);
   Out.Stats = vgpu::computeKernelStats(*Out.Kernel, Registry);
+  if (Cacheable)
+    KernelCache::global().insert(Key, Out);
   return Out;
 }
 

@@ -8,6 +8,8 @@
 //===----------------------------------------------------------------------===//
 #pragma once
 
+#include <memory>
+
 #include "frontend/Codegen.hpp"
 #include "opt/Pipeline.hpp"
 #include "vgpu/KernelStats.hpp"
@@ -20,6 +22,12 @@ struct CompileOptions {
   opt::OptOptions Opt;
   /// Skip the optimizer entirely (codegen output runs as-is).
   bool RunOptimizer = true;
+  /// Consult the process-wide content-addressed kernel cache (see
+  /// KernelCache.hpp). Not part of the cache key; compile-time benchmarks
+  /// turn it off so they measure the pipeline, not a map lookup. Requests
+  /// carrying a remark collector always bypass the cache (a hit would
+  /// produce no remarks).
+  bool UseKernelCache = true;
 
   /// The paper's five build configurations (Figure 11 rows).
   static CompileOptions oldRT();
@@ -29,9 +37,11 @@ struct CompileOptions {
   static CompileOptions cuda();
 };
 
-/// A fully compiled kernel, ready to load onto the virtual GPU.
+/// A fully compiled kernel, ready to load onto the virtual GPU. The module
+/// is shared so cache hits alias one immutable compilation result; treat it
+/// as read-only after compileKernel returns.
 struct CompiledKernel {
-  std::unique_ptr<ir::Module> M;
+  std::shared_ptr<ir::Module> M;
   ir::Function *Kernel = nullptr;
   vgpu::KernelStaticStats Stats;
 };

@@ -24,6 +24,7 @@ Expected<DeviceAddr> HostRuntime::enterData(const void *HostPtr,
                                             std::uint64_t Size, bool CopyTo) {
   if (!HostPtr || Size == 0)
     return makeError("enterData: null pointer or zero size");
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Table.find(HostPtr);
   if (It != Table.end()) {
     if (It->second.Size != Size)
@@ -32,8 +33,11 @@ Expected<DeviceAddr> HostRuntime::enterData(const void *HostPtr,
     ++It->second.RefCount;
     return It->second.Addr;
   }
+  auto Addr = Device.tryAllocate(Size);
+  if (!Addr)
+    return makeError("enterData: ", Addr.error().message());
   Mapping M;
-  M.Addr = Device.allocate(Size);
+  M.Addr = *Addr;
   M.Size = Size;
   M.RefCount = 1;
   if (CopyTo)
@@ -44,6 +48,7 @@ Expected<DeviceAddr> HostRuntime::enterData(const void *HostPtr,
 }
 
 Expected<bool> HostRuntime::exitData(void *HostPtr, bool CopyFrom) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Table.find(HostPtr);
   if (It == Table.end())
     return makeError("exitData: pointer is not mapped");
@@ -59,6 +64,7 @@ Expected<bool> HostRuntime::exitData(void *HostPtr, bool CopyFrom) {
 }
 
 Expected<bool> HostRuntime::updateTo(const void *HostPtr) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Table.find(HostPtr);
   if (It == Table.end())
     return makeError("updateTo: pointer is not mapped");
@@ -69,6 +75,7 @@ Expected<bool> HostRuntime::updateTo(const void *HostPtr) {
 }
 
 Expected<bool> HostRuntime::updateFrom(void *HostPtr) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Table.find(HostPtr);
   if (It == Table.end())
     return makeError("updateFrom: pointer is not mapped");
@@ -79,6 +86,7 @@ Expected<bool> HostRuntime::updateFrom(void *HostPtr) {
 }
 
 Expected<DeviceAddr> HostRuntime::lookup(const void *HostPtr) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Table.find(HostPtr);
   if (It == Table.end())
     return makeError("lookup: pointer is not mapped");
@@ -86,6 +94,7 @@ Expected<DeviceAddr> HostRuntime::lookup(const void *HostPtr) const {
 }
 
 bool HostRuntime::isPresent(const void *HostPtr) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   return Table.find(HostPtr) != Table.end();
 }
 
@@ -99,7 +108,8 @@ Expected<LaunchResult> HostRuntime::launch(std::string_view KernelName,
                      std::string(KernelName), "'");
   std::vector<std::uint64_t> Bits;
   Bits.reserve(Args.size());
-  for (const KernelArg &A : Args) {
+  for (std::size_t Idx = 0; Idx < Args.size(); ++Idx) {
+    const KernelArg &A = Args[Idx];
     switch (A.K) {
     case KernelArg::Kind::I64:
       Bits.push_back(static_cast<std::uint64_t>(A.I));
@@ -113,8 +123,11 @@ Expected<LaunchResult> HostRuntime::launch(std::string_view KernelName,
     case KernelArg::Kind::MappedPtr: {
       auto Addr = lookup(A.HostPtr);
       if (!Addr)
-        return makeError("launch: argument pointer is not mapped (map it "
-                         "with enterData first)");
+        return makeError("launch '", std::string(KernelName), "': argument #",
+                         std::to_string(Idx),
+                         " is not device-mapped (map it with enterData "
+                         "first): ",
+                         Addr.error().message());
       Bits.push_back(Addr->Bits);
       break;
     }

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <variant>
@@ -78,7 +79,10 @@ public:
   /// True when the pointer is currently mapped.
   [[nodiscard]] bool isPresent(const void *HostPtr) const;
   /// Number of live mappings (leak checks in tests).
-  [[nodiscard]] std::size_t numMappings() const { return Table.size(); }
+  [[nodiscard]] std::size_t numMappings() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Table.size();
+  }
 
   // --- Kernel launches ---------------------------------------------------------
 
@@ -102,6 +106,9 @@ private:
   };
 
   vgpu::VirtualGPU &Device;
+  /// Guards the present table: application host threads may issue
+  /// enterData/exitData concurrently (OpenMP target tasks).
+  mutable std::mutex Mutex;
   std::map<const void *, Mapping> Table;
   std::vector<std::unique_ptr<vgpu::ModuleImage>> Images;
   std::map<std::string, KernelEntry, std::less<>> Kernels;

@@ -1,0 +1,35 @@
+#include "support/Stats.hpp"
+
+namespace codesign {
+
+Counters &Counters::global() {
+  static Counters Instance;
+  return Instance;
+}
+
+void Counters::add(std::string_view Name, std::uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    Values.emplace(std::string(Name), Delta);
+  else
+    It->second += Delta;
+}
+
+std::uint64_t Counters::value(std::string_view Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Values.find(Name);
+  return It == Values.end() ? 0 : It->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Counters::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return {Values.begin(), Values.end()};
+}
+
+void Counters::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Values.clear();
+}
+
+} // namespace codesign

@@ -1,8 +1,10 @@
-//===- support/Stats.hpp - Streaming statistics ---------------------------===//
+//===- support/Stats.hpp - Streaming statistics and named counters --------===//
 //
 // Welford-style streaming accumulator used by benches to report mean and
 // spread across repetitions, and by the virtual GPU to summarize per-thread
-// cycle distributions.
+// cycle distributions. Also hosts the process-wide named counter registry
+// through which subsystems (e.g. the compiled-kernel cache) surface
+// monotonic event counts to benches and tests.
 //
 //===----------------------------------------------------------------------===//
 #pragma once
@@ -10,6 +12,12 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace codesign {
 
@@ -52,6 +60,29 @@ private:
   double Sum = 0.0;
   double MinV = std::numeric_limits<double>::infinity();
   double MaxV = -std::numeric_limits<double>::infinity();
+};
+
+/// Process-wide registry of named monotonic counters. Thread-safe; counters
+/// spring into existence at zero on first touch. Names use dotted paths
+/// ("kernel-cache.hits") so related counters sort together in snapshots.
+class Counters {
+public:
+  /// The process-wide instance.
+  static Counters &global();
+
+  /// Add Delta to the named counter (creating it at zero first).
+  void add(std::string_view Name, std::uint64_t Delta = 1);
+  /// Current value (zero for never-touched counters).
+  [[nodiscard]] std::uint64_t value(std::string_view Name) const;
+  /// Name-sorted copy of every counter, for reporting.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  snapshot() const;
+  /// Reset every counter to zero (test isolation).
+  void reset();
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::string, std::uint64_t, std::less<>> Values;
 };
 
 } // namespace codesign

@@ -1,0 +1,88 @@
+#include "support/ThreadPool.hpp"
+
+#include "support/Error.hpp"
+
+namespace codesign::support {
+
+unsigned resolveHostThreads(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  const unsigned HW = std::thread::hardware_concurrency();
+  return HW != 0 ? HW : 1;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads <= 1)
+    return;
+  Workers.reserve(NumThreads - 1);
+  for (unsigned I = 0; I + 1 < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WakeCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::runJob(const std::function<void(std::uint64_t)> &Fn) {
+  for (;;) {
+    const std::uint64_t I = NextIndex.fetch_add(1, std::memory_order_relaxed);
+    if (I >= JobSize)
+      return;
+    Fn(I);
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::function<void(std::uint64_t)> *Fn = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeCV.wait(Lock, [&] {
+        return Stopping || Generation != SeenGeneration;
+      });
+      if (Stopping)
+        return;
+      SeenGeneration = Generation;
+      Fn = JobFn;
+    }
+    runJob(*Fn);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--BusyWorkers == 0)
+        DoneCV.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(std::uint64_t N,
+                             const std::function<void(std::uint64_t)> &Fn) {
+  if (Workers.empty() || N <= 1) {
+    for (std::uint64_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    CODESIGN_ASSERT(BusyWorkers == 0, "nested parallelFor on one pool");
+    JobFn = &Fn;
+    JobSize = N;
+    NextIndex.store(0, std::memory_order_relaxed);
+    BusyWorkers = static_cast<unsigned>(Workers.size());
+    ++Generation;
+  }
+  WakeCV.notify_all();
+  // The caller is one of the execution lanes.
+  runJob(Fn);
+  std::unique_lock<std::mutex> Lock(Mutex);
+  DoneCV.wait(Lock, [&] { return BusyWorkers == 0; });
+  JobFn = nullptr;
+}
+
+} // namespace codesign::support

@@ -1,0 +1,69 @@
+//===- support/ThreadPool.hpp - Fork-join worker pool ----------------------===//
+//
+// A small fork-join pool used by the virtual GPU's parallel launch engine:
+// construct with N workers, then hand it an index space to sweep. Indices
+// are claimed dynamically through an atomic counter (cheap work stealing),
+// and — crucially for the launch engine's determinism guarantee — they are
+// claimed in increasing order, so the lowest-numbered item is always
+// processed before any higher-numbered item is claimed.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace codesign::support {
+
+/// Resolve a requested host-thread count: 0 means "one per hardware
+/// thread", anything else is taken literally. Always returns >= 1.
+unsigned resolveHostThreads(unsigned Requested);
+
+/// A fixed-size fork-join pool. parallelFor blocks the caller until every
+/// index has been processed; the calling thread participates, so a pool of
+/// N threads uses N-1 workers plus the caller. Function objects must be
+/// safe to invoke concurrently from different threads.
+class ThreadPool {
+public:
+  /// Spawn a pool that executes with NumThreads total threads (including
+  /// the caller of parallelFor). NumThreads <= 1 spawns no workers and
+  /// parallelFor degenerates to a serial loop.
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total execution width (workers + caller).
+  [[nodiscard]] unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// Invoke Fn(I) for every I in [0, N). Indices are claimed in increasing
+  /// order by an atomic counter; the call returns once all N invocations
+  /// completed. Not reentrant: one parallelFor at a time per pool.
+  void parallelFor(std::uint64_t N,
+                   const std::function<void(std::uint64_t)> &Fn);
+
+private:
+  void workerLoop();
+  void runJob(const std::function<void(std::uint64_t)> &Fn);
+
+  std::vector<std::thread> Workers;
+
+  std::mutex Mutex;
+  std::condition_variable WakeCV;  ///< signals workers that a job is ready
+  std::condition_variable DoneCV;  ///< signals the caller that workers idled
+  const std::function<void(std::uint64_t)> *JobFn = nullptr;
+  std::uint64_t JobSize = 0;
+  std::atomic<std::uint64_t> NextIndex{0};
+  std::uint64_t Generation = 0;   ///< bumped per job so workers wake exactly once
+  unsigned BusyWorkers = 0;
+  bool Stopping = false;
+};
+
+} // namespace codesign::support

@@ -46,6 +46,12 @@ struct DeviceConfig {
   /// Upper bound on interpreted instructions per thread; exceeded => error
   /// (guards against runaway kernels in tests).
   std::uint64_t MaxDynamicInstPerThread = 1ULL << 27;
+  /// Host threads used by the launch engine to execute teams in parallel.
+  /// Teams share no mutable state except global memory reached via atomics,
+  /// and per-team metrics are merged in team-ID order, so the reported
+  /// numbers are bit-identical to a serial run regardless of this setting.
+  /// 0 = one per hardware thread; 1 = serial execution in the caller.
+  std::uint32_t HostThreads = 0;
   /// Debug executions verify runtime invariants (aligned barriers actually
   /// aligned, assertions checked) exactly like the paper's debug builds
   /// (Section III-G).

@@ -2,9 +2,11 @@
 
 #include "vgpu/KernelStats.hpp"
 
+#include <atomic>
 #include <cstring>
 
 #include "ir/BasicBlock.hpp"
+#include "support/ThreadPool.hpp"
 
 namespace codesign::vgpu {
 
@@ -71,6 +73,41 @@ std::uint64_t zextToWidth(Type Ty, std::uint64_t CanonBits) {
   }
 }
 
+/// True when host storage P can serve a lock-free atomic of Size bytes.
+bool atomicCapable(const std::uint8_t *P, unsigned Size) {
+  return (Size == 4 || Size == 8) &&
+         reinterpret_cast<std::uintptr_t>(P) % Size == 0;
+}
+
+/// Atomically replace the U-sized word at P with NewBitsFor(old); returns
+/// the raw old bits (zero-extended). Teams of one launch may contend on
+/// the same global-memory word, so the read-modify-write must be a real
+/// atomic — a plain load/store pair would tear under the parallel engine.
+template <typename U, typename Op>
+std::uint64_t atomicFetchModify(std::uint8_t *P, Op &&NewBitsFor) {
+  std::atomic_ref<U> A(*reinterpret_cast<U *>(P));
+  U Old = A.load(std::memory_order_relaxed);
+  for (;;) {
+    const U New = static_cast<U>(NewBitsFor(static_cast<std::uint64_t>(Old)));
+    if (A.compare_exchange_weak(Old, New, std::memory_order_acq_rel,
+                                std::memory_order_relaxed))
+      return static_cast<std::uint64_t>(Old);
+  }
+}
+
+/// Atomic compare-and-swap of the U-sized word at P; returns the observed
+/// raw old bits.
+template <typename U>
+std::uint64_t atomicCas(std::uint8_t *P, std::uint64_t Expected,
+                        std::uint64_t Desired) {
+  std::atomic_ref<U> A(*reinterpret_cast<U *>(P));
+  U Observed = static_cast<U>(Expected);
+  A.compare_exchange_strong(Observed, static_cast<U>(Desired),
+                            std::memory_order_acq_rel,
+                            std::memory_order_relaxed);
+  return static_cast<std::uint64_t>(Observed);
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -95,7 +132,10 @@ ModuleImage::ModuleImage(const Module &M, GlobalMemory &GM) : M(M), GM(GM) {
   }
   StaticsSize = Off;
   if (StaticsSize > 0) {
-    StaticsOffset = GM.allocate(StaticsSize, 16);
+    auto Statics = GM.allocate(StaticsSize, 16);
+    CODESIGN_ASSERT(Statics.hasValue(),
+                    "device global memory exhausted laying out module statics");
+    StaticsOffset = *Statics;
     for (const auto &[G, LocalOff] : DeviceStatics) {
       const std::uint64_t Abs = StaticsOffset + LocalOff;
       GlobalAddrs[G] = DeviceAddr::make(MemSpace::Global, Abs);
@@ -119,6 +159,19 @@ ModuleImage::ModuleImage(const Module &M, GlobalMemory &GM) : M(M), GM(GM) {
     FunctionIndex[F.get()] =
         static_cast<std::uint32_t>(FunctionsByIndex.size());
     FunctionsByIndex.push_back(F.get());
+  }
+  // Precompute every function's slot layout now so that layout() is a pure
+  // read — team executors running on parallel launch threads query it
+  // concurrently.
+  for (const auto &F : M.functions()) {
+    FunctionLayout L;
+    for (const auto &A : F->args())
+      L.Slots[A.get()] = L.NumSlots++;
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions())
+        if (!I->type().isVoid())
+          L.Slots[I.get()] = L.NumSlots++;
+    Layouts.emplace(F.get(), std::move(L));
   }
 }
 
@@ -157,16 +210,8 @@ const Function *ModuleImage::functionFor(DeviceAddr A) const {
 const ModuleImage::FunctionLayout &
 ModuleImage::layout(const Function *F) const {
   auto It = Layouts.find(F);
-  if (It != Layouts.end())
-    return It->second;
-  FunctionLayout L;
-  for (const auto &A : F->args())
-    L.Slots[A.get()] = L.NumSlots++;
-  for (const auto &BB : F->blocks())
-    for (const auto &I : BB->instructions())
-      if (!I->type().isVoid())
-        L.Slots[I.get()] = L.NumSlots++;
-  return Layouts.emplace(F, std::move(L)).first->second;
+  CODESIGN_ASSERT(It != Layouts.end(), "function not in image");
+  return It->second;
 }
 
 //===----------------------------------------------------------------------===//
@@ -833,28 +878,42 @@ void TeamExecutor::stepThread(ThreadState &T) {
       std::uint8_t *P = resolve(A, Size, T);
       if (!P)
         return;
-      std::uint64_t Raw = 0;
-      std::memcpy(&Raw, P, Size);
-      const std::uint64_t Old = Ty.isInteger() ? canonInt(Ty, Raw) : Raw;
-      const std::int64_t OldS = static_cast<std::int64_t>(Old);
+      const AtomicOp Op = I->atomicOp();
       const std::int64_t V = static_cast<std::int64_t>(opI(1));
-      std::int64_t New = 0;
-      switch (I->atomicOp()) {
-      case AtomicOp::Add:
-        New = OldS + V;
-        break;
-      case AtomicOp::Max:
-        New = std::max(OldS, V);
-        break;
-      case AtomicOp::Min:
-        New = std::min(OldS, V);
-        break;
-      case AtomicOp::Exchange:
-        New = V;
-        break;
+      const auto NewBitsFor = [&](std::uint64_t RawOld) {
+        const std::uint64_t OldC = Ty.isInteger() ? canonInt(Ty, RawOld)
+                                                  : RawOld;
+        const std::int64_t OldS = static_cast<std::int64_t>(OldC);
+        std::int64_t New = 0;
+        switch (Op) {
+        case AtomicOp::Add:
+          New = OldS + V;
+          break;
+        case AtomicOp::Max:
+          New = std::max(OldS, V);
+          break;
+        case AtomicOp::Min:
+          New = std::min(OldS, V);
+          break;
+        case AtomicOp::Exchange:
+          New = V;
+          break;
+        }
+        return static_cast<std::uint64_t>(New);
+      };
+      std::uint64_t Raw = 0;
+      if (A.space() == MemSpace::Global && atomicCapable(P, Size)) {
+        // Teams in other launch threads may hit the same word: take the
+        // real atomic path.
+        Raw = Size == 4 ? atomicFetchModify<std::uint32_t>(P, NewBitsFor)
+                        : atomicFetchModify<std::uint64_t>(P, NewBitsFor);
+      } else {
+        // Shared/local memory is team-private; a plain RMW is race-free.
+        std::memcpy(&Raw, P, Size);
+        const std::uint64_t NewBits = NewBitsFor(Raw);
+        std::memcpy(P, &NewBits, Size);
       }
-      const std::uint64_t NewBits = static_cast<std::uint64_t>(New);
-      std::memcpy(P, &NewBits, Size);
+      const std::uint64_t Old = Ty.isInteger() ? canonInt(Ty, Raw) : Raw;
       chargeAccess(T, A.space(), /*IsStore=*/true, /*IsAtomic=*/true);
       setResult(I, F, Old);
       break;
@@ -867,12 +926,20 @@ void TeamExecutor::stepThread(ThreadState &T) {
       if (!P)
         return;
       std::uint64_t Raw = 0;
-      std::memcpy(&Raw, P, Size);
-      const std::uint64_t Old = Ty.isInteger() ? canonInt(Ty, Raw) : Raw;
-      if (Old == opI(1)) {
-        const std::uint64_t Desired = opI(2);
-        std::memcpy(P, &Desired, Size);
+      if (A.space() == MemSpace::Global && atomicCapable(P, Size)) {
+        // Compare at storage width: equal raw words <=> equal canonical
+        // values, since canonicalization is injective on the width.
+        Raw = Size == 4 ? atomicCas<std::uint32_t>(P, opI(1), opI(2))
+                        : atomicCas<std::uint64_t>(P, opI(1), opI(2));
+      } else {
+        std::memcpy(&Raw, P, Size);
+        const std::uint64_t OldC = Ty.isInteger() ? canonInt(Ty, Raw) : Raw;
+        if (OldC == opI(1)) {
+          const std::uint64_t Desired = opI(2);
+          std::memcpy(P, &Desired, Size);
+        }
       }
+      const std::uint64_t Old = Ty.isInteger() ? canonInt(Ty, Raw) : Raw;
       chargeAccess(T, A.space(), /*IsStore=*/true, /*IsAtomic=*/true);
       setResult(I, F, Old);
       break;
@@ -882,8 +949,11 @@ void TeamExecutor::stepThread(ThreadState &T) {
       if (Size == 0) {
         setResult(I, F, 0);
       } else {
-        const std::uint64_t Off = GM.allocate(Size, 16);
-        setResult(I, F, DeviceAddr::make(MemSpace::Global, Off).Bits);
+        // Device malloc mirrors CUDA semantics: exhaustion yields a null
+        // pointer the kernel can test, never a host-side abort.
+        auto Off = GM.allocate(Size, 16);
+        setResult(I, F,
+                  Off ? DeviceAddr::make(MemSpace::Global, *Off).Bits : 0);
       }
       Metrics.DeviceMallocs++;
       T.Cycles += C.MallocCost;
@@ -1094,15 +1164,57 @@ LaunchResult KernelLauncher::launch(const ModuleImage &Image,
   Occupancy = std::max<std::uint32_t>(Occupancy, 1);
   Result.Metrics.TeamsPerSM = Occupancy;
 
+  // Execute the teams. Each team runs against a private metrics shard and
+  // touches no mutable state besides global memory (reached via atomics),
+  // so teams can execute on any number of host threads. The shards are
+  // merged in team-ID order below, which makes every reported number — and
+  // the error reported for a trapping launch — bit-identical to a serial
+  // run. On failure the merge reports the lowest-numbered trapping team —
+  // exactly the team a serial sweep would have stopped at (every team below
+  // it completes cleanly in both modes).
+  struct TeamOutcome {
+    bool Ran = false;
+    std::optional<std::string> Err;
+    LaunchMetrics Metrics;
+    std::uint64_t Cycles = 0;
+  };
+  std::vector<TeamOutcome> Outcomes(NumTeams);
+  const auto RunTeam = [&](std::uint64_t Team) {
+    TeamOutcome &Out = Outcomes[Team];
+    TeamExecutor Exec(Config, GM, Registry, Image,
+                      static_cast<std::uint32_t>(Team), NumTeams, NumThreads,
+                      Kernel, Args, Out.Metrics);
+    Out.Err = Exec.run();
+    Out.Cycles = Exec.teamCycles();
+    Out.Ran = true;
+  };
+  const std::uint32_t Workers = std::min<std::uint32_t>(
+      support::resolveHostThreads(Config.HostThreads), NumTeams);
+  if (Workers <= 1) {
+    // Serial fallback: execute in the caller, stopping at the first trap
+    // like the original engine.
+    for (std::uint32_t Team = 0; Team < NumTeams; ++Team) {
+      RunTeam(Team);
+      if (Outcomes[Team].Err)
+        break;
+    }
+  } else {
+    support::ThreadPool Pool(Workers);
+    Pool.parallelFor(NumTeams, RunTeam);
+  }
+
+  // Deterministic merge in team-ID order.
   std::vector<std::vector<std::uint64_t>> PerSM(Config.NumSMs);
   for (std::uint32_t Team = 0; Team < NumTeams; ++Team) {
-    TeamExecutor Exec(Config, GM, Registry, Image, Team, NumTeams, NumThreads,
-                      Kernel, Args, Result.Metrics);
-    if (auto Err = Exec.run()) {
-      Result.Error = *Err;
+    TeamOutcome &Out = Outcomes[Team];
+    if (!Out.Ran)
+      break; // serial fallback stopped at a lower team's trap
+    if (Out.Err) {
+      Result.Error = *Out.Err;
       return Result;
     }
-    PerSM[Team % Config.NumSMs].push_back(Exec.teamCycles());
+    Result.Metrics.accumulate(Out.Metrics);
+    PerSM[Team % Config.NumSMs].push_back(Out.Cycles);
   }
   // Wall time per SM: its teams run in waves of `Occupancy`.
   for (const auto &Teams : PerSM) {

@@ -66,7 +66,9 @@ public:
   /// Reverse lookup; null when the address is not a function address.
   [[nodiscard]] const Function *functionFor(DeviceAddr A) const;
 
-  /// Dense SSA slot numbering for F (built on demand, cached).
+  /// Dense SSA slot numbering for F. Layouts for every module function are
+  /// precomputed at image construction so lookups are safe from concurrent
+  /// team-executor threads (the parallel launch engine).
   struct FunctionLayout {
     std::unordered_map<const Value *, std::uint32_t> Slots;
     std::uint32_t NumSlots = 0;
@@ -83,7 +85,7 @@ private:
   std::vector<std::uint8_t> SharedInit;
   std::vector<const Function *> FunctionsByIndex;
   std::unordered_map<const Function *, std::uint32_t> FunctionIndex;
-  mutable std::unordered_map<const Function *, FunctionLayout> Layouts;
+  std::unordered_map<const Function *, FunctionLayout> Layouts;
 };
 
 /// Outcome of a kernel launch.
@@ -93,7 +95,11 @@ struct LaunchResult {
   LaunchMetrics Metrics;  ///< populated when Ok
 };
 
-/// Launches kernels from a ModuleImage onto the virtual device.
+/// Launches kernels from a ModuleImage onto the virtual device. Teams are
+/// executed on DeviceConfig::HostThreads host threads (they share no
+/// mutable state except global memory reached via atomics); per-team
+/// metrics accumulate into private shards that are merged in team-ID
+/// order, so every reported number is bit-identical to a serial run.
 class KernelLauncher {
 public:
   KernelLauncher(const DeviceConfig &Config, GlobalMemory &GM,

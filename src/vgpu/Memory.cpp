@@ -6,18 +6,30 @@ namespace codesign::vgpu {
 
 GlobalMemory::GlobalMemory(std::uint64_t SizeBytes) : Bytes(SizeBytes, 0) {
   // Offset 0 is reserved so that a global address with offset 0 never
-  // collides with the null pointer encoding.
+  // collides with the null pointer encoding. Sizes at or below the guard
+  // would underflow the free list, so they are rejected outright.
+  CODESIGN_ASSERT(SizeBytes > 16,
+                  "device global memory must be larger than the 16-byte "
+                  "reserved null guard");
   FreeBlocks[16] = SizeBytes - 16;
 }
 
-std::uint64_t GlobalMemory::allocate(std::uint64_t Size, std::uint64_t Align) {
+Expected<std::uint64_t> GlobalMemory::allocate(std::uint64_t Size,
+                                               std::uint64_t Align) {
   CODESIGN_ASSERT(Size > 0, "zero-size device allocation");
+  CODESIGN_ASSERT(Align != 0 && (Align & (Align - 1)) == 0,
+                  "device allocation alignment must be a power of two");
+  std::lock_guard<std::mutex> Lock(Mutex);
   for (auto It = FreeBlocks.begin(); It != FreeBlocks.end(); ++It) {
     const std::uint64_t Start = It->first;
     const std::uint64_t BlockSize = It->second;
     const std::uint64_t Aligned = (Start + Align - 1) & ~(Align - 1);
+    if (Aligned < Start) // Start + Align - 1 wrapped around
+      continue;
     const std::uint64_t Waste = Aligned - Start;
-    if (BlockSize < Waste + Size)
+    // Overflow-safe fit check: never form Waste + Size, which can wrap for
+    // hostile sizes and make an undersized block look large enough.
+    if (BlockSize < Waste || BlockSize - Waste < Size)
       continue;
     FreeBlocks.erase(It);
     if (Waste > 0)
@@ -29,10 +41,15 @@ std::uint64_t GlobalMemory::allocate(std::uint64_t Size, std::uint64_t Align) {
     InUse += Size;
     return Aligned;
   }
-  fatalError("device global memory exhausted");
+  return makeError("device global memory exhausted (requested ",
+                   std::to_string(Size), " bytes aligned to ",
+                   std::to_string(Align), ", ",
+                   std::to_string(Bytes.size() - InUse - 16),
+                   " bytes unallocated)");
 }
 
 void GlobalMemory::release(std::uint64_t Offset) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = LiveBlocks.find(Offset);
   CODESIGN_ASSERT(It != LiveBlocks.end(), "free of unallocated device memory");
   std::uint64_t Size = It->second;

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -19,18 +20,26 @@ namespace codesign::vgpu {
 /// paper Section III-D).
 class GlobalMemory {
 public:
+  /// SizeBytes must exceed the 16-byte reserved null guard at offset 0;
+  /// smaller configurations are rejected with a fatal diagnostic.
   explicit GlobalMemory(std::uint64_t SizeBytes);
 
   /// Total capacity in bytes.
   [[nodiscard]] std::uint64_t capacity() const { return Bytes.size(); }
 
-  /// Allocate Size bytes with the given alignment; returns the offset.
-  /// Fails fatally on exhaustion (the simulator cannot continue meaningfully).
-  std::uint64_t allocate(std::uint64_t Size, std::uint64_t Align = 16);
-  /// Release an allocation previously returned by allocate().
+  /// Allocate Size bytes with the given alignment (a power of two);
+  /// returns the offset, or a recoverable error on exhaustion so callers
+  /// (host runtime data mapping, device malloc) can propagate or degrade.
+  /// Thread-safe: concurrent teams may malloc/free during a launch.
+  Expected<std::uint64_t> allocate(std::uint64_t Size,
+                                   std::uint64_t Align = 16);
+  /// Release an allocation previously returned by allocate(). Thread-safe.
   void release(std::uint64_t Offset);
   /// Bytes currently allocated (for leak checks in tests).
-  [[nodiscard]] std::uint64_t bytesInUse() const { return InUse; }
+  [[nodiscard]] std::uint64_t bytesInUse() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return InUse;
+  }
 
   /// Raw access. Offset+Size must be in bounds.
   void write(std::uint64_t Offset, std::span<const std::uint8_t> Data);
@@ -41,6 +50,9 @@ public:
 
 private:
   std::vector<std::uint8_t> Bytes;
+  /// Guards the allocator state (free/live lists); the byte arena itself is
+  /// accessed lock-free under the device memory model (disjoint or atomic).
+  mutable std::mutex Mutex;
   std::map<std::uint64_t, std::uint64_t> FreeBlocks; // offset -> size
   std::map<std::uint64_t, std::uint64_t> LiveBlocks; // offset -> size
   std::uint64_t InUse = 0;

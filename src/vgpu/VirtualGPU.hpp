@@ -26,9 +26,22 @@ public:
 
   // --- Host-visible memory management (cudaMalloc/cudaMemcpy analogue) ----
 
-  /// Allocate Size bytes of device global memory.
+  /// Allocate Size bytes of device global memory; exhaustion is returned
+  /// as a recoverable error (the host runtime surfaces it to the user).
+  Expected<DeviceAddr> tryAllocate(std::uint64_t Size,
+                                   std::uint64_t Align = 16) {
+    auto Off = GM.allocate(Size, Align);
+    if (!Off)
+      return Off.error();
+    return DeviceAddr::make(MemSpace::Global, *Off);
+  }
+  /// Allocate Size bytes of device global memory. Fails fatally on
+  /// exhaustion — the convenience entry point for tests and examples that
+  /// cannot continue meaningfully without the buffer.
   DeviceAddr allocate(std::uint64_t Size, std::uint64_t Align = 16) {
-    return DeviceAddr::make(MemSpace::Global, GM.allocate(Size, Align));
+    auto A = tryAllocate(Size, Align);
+    CODESIGN_ASSERT(A.hasValue(), "device global memory exhausted");
+    return *A;
   }
   /// Release an allocation from allocate().
   void release(DeviceAddr A) {

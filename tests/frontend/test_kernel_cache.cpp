@@ -1,0 +1,112 @@
+//===- tests/frontend/test_kernel_cache.cpp - Compiled-kernel cache --------===//
+//
+// The cache contract: identical (spec, options, native ops) requests share
+// one compilation; any switch or spec change misses; remark collection and
+// UseKernelCache=false bypass it; hit/miss totals surface through both the
+// cache itself and support::Counters.
+//
+//===----------------------------------------------------------------------===//
+#include "frontend/KernelCache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opt/Remark.hpp"
+#include "support/Stats.hpp"
+#include "vgpu/VirtualGPU.hpp"
+
+namespace codesign::frontend {
+namespace {
+
+class KernelCacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    KernelCache::global().clear();
+    Counters::global().reset();
+    BodyId = GPU.registry().add(vgpu::NativeOpInfo{
+        "cache_body",
+        [](vgpu::NativeCtx &Ctx) { Ctx.chargeCycles(1); },
+        2});
+  }
+
+  KernelSpec spec(std::int64_t Trip = 64) const {
+    KernelSpec S;
+    S.Name = "cached";
+    S.Params = {{ir::Type::ptr(), "buf"}};
+    NativeBody Body;
+    Body.NativeId = BodyId;
+    Body.Args = {BodyArg::iter(), BodyArg::arg(0)};
+    S.Stmts = {Stmt::distributeParallelFor(TripCount::constant(Trip), Body)};
+    return S;
+  }
+
+  vgpu::VirtualGPU GPU;
+  std::int64_t BodyId = 0;
+};
+
+TEST_F(KernelCacheTest, RepeatCompileHitsAndSharesModule) {
+  const CompileOptions Opts = CompileOptions::newRT();
+  auto A = compileKernel(spec(), Opts, GPU.registry());
+  ASSERT_TRUE(A.hasValue()) << A.error().message();
+  EXPECT_EQ(KernelCache::global().hits(), 0u);
+  EXPECT_EQ(KernelCache::global().misses(), 1u);
+  auto B = compileKernel(spec(), Opts, GPU.registry());
+  ASSERT_TRUE(B.hasValue());
+  EXPECT_EQ(KernelCache::global().hits(), 1u);
+  EXPECT_EQ(KernelCache::global().misses(), 1u);
+  EXPECT_EQ(A->M.get(), B->M.get()) << "hit must share the compiled module";
+  EXPECT_EQ(A->Kernel, B->Kernel);
+  EXPECT_EQ(Counters::global().value("kernel-cache.hits"), 1u);
+  EXPECT_EQ(Counters::global().value("kernel-cache.misses"), 1u);
+}
+
+TEST_F(KernelCacheTest, DifferentOptionsAndSpecsMiss) {
+  ASSERT_TRUE(compileKernel(spec(), CompileOptions::newRT(), GPU.registry())
+                  .hasValue());
+  // Every paper configuration is a distinct key.
+  for (const CompileOptions &O :
+       {CompileOptions::oldRT(), CompileOptions::newRTNightly(),
+        CompileOptions::newRTNoAssumptions(), CompileOptions::cuda()})
+    ASSERT_TRUE(compileKernel(spec(), O, GPU.registry()).hasValue());
+  // A spec change is a distinct key.
+  ASSERT_TRUE(compileKernel(spec(/*Trip=*/65), CompileOptions::newRT(),
+                            GPU.registry())
+                  .hasValue());
+  EXPECT_EQ(KernelCache::global().hits(), 0u);
+  EXPECT_EQ(KernelCache::global().misses(), 6u);
+  EXPECT_EQ(KernelCache::global().size(), 6u);
+}
+
+TEST_F(KernelCacheTest, OptOutAndRemarksBypass) {
+  CompileOptions NoCache = CompileOptions::newRT();
+  NoCache.UseKernelCache = false;
+  ASSERT_TRUE(compileKernel(spec(), NoCache, GPU.registry()).hasValue());
+  ASSERT_TRUE(compileKernel(spec(), NoCache, GPU.registry()).hasValue());
+  EXPECT_EQ(KernelCache::global().hits(), 0u);
+  EXPECT_EQ(KernelCache::global().misses(), 0u);
+
+  // Remark collection must observe a real pipeline run, even with the
+  // cache enabled.
+  opt::RemarkCollector Remarks;
+  CompileOptions WithRemarks = CompileOptions::newRT();
+  WithRemarks.Opt.Remarks = &Remarks;
+  ASSERT_TRUE(compileKernel(spec(), WithRemarks, GPU.registry()).hasValue());
+  EXPECT_EQ(KernelCache::global().hits(), 0u);
+  EXPECT_EQ(KernelCache::global().misses(), 0u);
+  EXPECT_EQ(KernelCache::global().size(), 0u);
+}
+
+TEST_F(KernelCacheTest, KeyDistinguishesNativeOpIdentity) {
+  const CompileOptions Opts = CompileOptions::newRT();
+  const std::string K1 = KernelCache::key(spec(), Opts, GPU.registry());
+  // Same spec against a registry where the id resolves to a different op
+  // (name/registers) must produce a different key.
+  vgpu::VirtualGPU Other;
+  const std::int64_t OtherId = Other.registry().add(vgpu::NativeOpInfo{
+      "other_body", [](vgpu::NativeCtx &) {}, 9});
+  ASSERT_EQ(OtherId, BodyId) << "ids must coincide for the test to bite";
+  const std::string K2 = KernelCache::key(spec(), Opts, Other.registry());
+  EXPECT_NE(K1, K2);
+}
+
+} // namespace
+} // namespace codesign::frontend

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "ir/IRBuilder.hpp"
 
 namespace codesign::host {
@@ -121,6 +123,74 @@ TEST_F(HostRuntimeTest, LaunchRejectsUnknownKernelAndUnmappedArgs) {
   int X = 0;
   const KernelArg Args[] = {KernelArg::mapped(&X)};
   EXPECT_FALSE(RT.launch("k", Args, 1, 1).hasValue());
+}
+
+TEST_F(HostRuntimeTest, LaunchErrorNamesKernelArgumentAndCause) {
+  HostRuntime RT(GPU);
+  Module M;
+  Function *K = M.createFunction("pinpoint_k", Type::voidTy(),
+                                 {Type::i64(), Type::ptr()});
+  K->addAttr(FnAttr::Kernel);
+  IRBuilder B(M);
+  B.setInsertPoint(K->createBlock("entry"));
+  B.retVoid();
+  RT.registerImage(M);
+  int X = 0;
+  const KernelArg Args[] = {KernelArg::i64(3), KernelArg::mapped(&X)};
+  auto R = RT.launch("pinpoint_k", Args, 1, 1);
+  ASSERT_FALSE(R.hasValue());
+  const std::string &Msg = R.error().message();
+  EXPECT_NE(Msg.find("pinpoint_k"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find("argument #1"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find("not mapped"), std::string::npos)
+      << Msg << " (must carry the underlying lookup error)";
+}
+
+TEST_F(HostRuntimeTest, EnterDataPropagatesDeviceExhaustion) {
+  vgpu::DeviceConfig Small;
+  Small.GlobalMemBytes = 4096;
+  vgpu::VirtualGPU TinyGPU(Small);
+  HostRuntime RT(TinyGPU);
+  std::vector<std::uint8_t> Big(1 << 20);
+  auto R = RT.enterData(Big.data(), Big.size());
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().message().find("exhausted"), std::string::npos)
+      << R.error().message();
+  EXPECT_EQ(RT.numMappings(), 0u) << "failed mapping must not leak an entry";
+  // The runtime stays usable after the failure.
+  std::vector<std::uint8_t> Ok(256);
+  ASSERT_TRUE(RT.enterData(Ok.data(), Ok.size()).hasValue());
+  ASSERT_TRUE(RT.exitData(Ok.data()).hasValue());
+}
+
+TEST_F(HostRuntimeTest, ConcurrentEnterExitKeepsRefcountsConsistent) {
+  HostRuntime RT(GPU);
+  constexpr int NumThreads = 4;
+  constexpr int Rounds = 200;
+  // Each thread maps/unmaps a private buffer and a shared one; the shared
+  // mapping's refcount must balance to zero at the end.
+  std::vector<std::uint8_t> Shared(128);
+  std::vector<std::vector<std::uint8_t>> Private(NumThreads);
+  for (auto &P : Private)
+    P.resize(64);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      for (int R = 0; R < Rounds; ++R) {
+        ASSERT_TRUE(RT.enterData(Shared.data(), Shared.size()).hasValue());
+        ASSERT_TRUE(
+            RT.enterData(Private[T].data(), Private[T].size()).hasValue());
+        ASSERT_TRUE(RT.isPresent(Shared.data()));
+        ASSERT_TRUE(RT.exitData(Private[T].data()).hasValue());
+        ASSERT_TRUE(RT.exitData(Shared.data()).hasValue());
+      }
+    });
+  }
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(RT.numMappings(), 0u);
+  EXPECT_FALSE(RT.isPresent(Shared.data()));
+  EXPECT_EQ(GPU.bytesInUse(), 0u);
 }
 
 } // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace codesign {
 namespace {
 
@@ -42,6 +45,39 @@ TEST(StreamingStats, SingleObservationHasZeroSpread) {
   S.add(42.0);
   EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
   EXPECT_DOUBLE_EQ(S.mean(), 42.0);
+}
+
+TEST(Counters, TouchCreatesAtZeroAndAccumulates) {
+  Counters &C = Counters::global();
+  C.reset();
+  EXPECT_EQ(C.value("test.never-touched"), 0u);
+  C.add("test.a");
+  C.add("test.a", 4);
+  C.add("test.b", 2);
+  EXPECT_EQ(C.value("test.a"), 5u);
+  EXPECT_EQ(C.value("test.b"), 2u);
+  auto Snap = C.snapshot();
+  ASSERT_EQ(Snap.size(), 2u);
+  EXPECT_EQ(Snap[0].first, "test.a") << "snapshot is name-sorted";
+  EXPECT_EQ(Snap[1].first, "test.b");
+  C.reset();
+  EXPECT_EQ(C.value("test.a"), 0u);
+  EXPECT_TRUE(C.snapshot().empty());
+}
+
+TEST(Counters, ThreadSafeAccumulation) {
+  Counters &C = Counters::global();
+  C.reset();
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&C] {
+      for (int I = 0; I < 1000; ++I)
+        C.add("test.concurrent");
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(C.value("test.concurrent"), 4000u);
+  C.reset();
 }
 
 } // namespace

@@ -1,0 +1,72 @@
+#include "support/ThreadPool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace codesign::support {
+namespace {
+
+TEST(ResolveHostThreads, ZeroMeansHardwareAndNeverZero) {
+  EXPECT_GE(resolveHostThreads(0), 1u);
+  EXPECT_EQ(resolveHostThreads(1), 1u);
+  EXPECT_EQ(resolveHostThreads(7), 7u);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool Pool(4);
+  constexpr std::uint64_t N = 10000;
+  std::vector<std::atomic<std::uint32_t>> Seen(N);
+  Pool.parallelFor(N, [&](std::uint64_t I) {
+    Seen[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::uint64_t I = 0; I < N; ++I)
+    ASSERT_EQ(Seen[I].load(), 1u) << "index " << I;
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.numThreads(), 1u);
+  std::uint64_t Sum = 0;
+  // With one thread there are no workers; the job runs in the caller, so
+  // unsynchronized access is fine.
+  Pool.parallelFor(100, [&](std::uint64_t I) { Sum += I; });
+  EXPECT_EQ(Sum, 4950u);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool Pool(3);
+  for (int Round = 0; Round < 50; ++Round) {
+    std::atomic<std::uint64_t> Sum{0};
+    Pool.parallelFor(64, [&](std::uint64_t I) {
+      Sum.fetch_add(I + 1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(Sum.load(), 64u * 65u / 2);
+  }
+}
+
+TEST(ThreadPool, EmptyAndTinyJobs) {
+  ThreadPool Pool(4);
+  std::atomic<std::uint64_t> Count{0};
+  Pool.parallelFor(0, [&](std::uint64_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 0u);
+  Pool.parallelFor(1, [&](std::uint64_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 1u);
+  // Fewer items than threads: claims beyond N must be no-ops.
+  Pool.parallelFor(2, [&](std::uint64_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 3u);
+}
+
+TEST(ThreadPool, ManyMoreItemsThanThreads) {
+  ThreadPool Pool(2);
+  std::atomic<std::uint64_t> Sum{0};
+  Pool.parallelFor(100000, [&](std::uint64_t I) {
+    Sum.fetch_add(I, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Sum.load(), 99999ull * 100000ull / 2);
+}
+
+} // namespace
+} // namespace codesign::support
