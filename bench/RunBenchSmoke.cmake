@@ -1,0 +1,28 @@
+# Runs one bench binary in smoke mode (tiny workloads) and validates the
+# BENCH_<name>.json it writes. Invoked by the bench-smoke ctest label:
+#   cmake -DBENCH_EXE=... -DBENCH_NAME=... -DVALIDATOR=... -DWORK_DIR=...
+#         -P RunBenchSmoke.cmake
+foreach(Var BENCH_EXE BENCH_NAME VALIDATOR WORK_DIR)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "RunBenchSmoke.cmake: ${Var} not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(ENV{CODESIGN_BENCH_SMOKE} "1")
+set(ENV{CODESIGN_BENCH_DIR} "${WORK_DIR}")
+
+execute_process(COMMAND "${BENCH_EXE}" RESULT_VARIABLE BenchResult)
+if(NOT BenchResult EQUAL 0)
+  message(FATAL_ERROR "${BENCH_NAME} exited with ${BenchResult}")
+endif()
+
+set(Json "${WORK_DIR}/BENCH_${BENCH_NAME}.json")
+if(NOT EXISTS "${Json}")
+  message(FATAL_ERROR "${BENCH_NAME} did not write ${Json}")
+endif()
+
+execute_process(COMMAND "${VALIDATOR}" "${Json}" RESULT_VARIABLE ValResult)
+if(NOT ValResult EQUAL 0)
+  message(FATAL_ERROR "${Json} failed schema validation")
+endif()

@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 #include "BenchCommon.hpp"
+#include "BenchReport.hpp"
 
 #include "apps/MiniFMM.hpp"
 #include "apps/RSBench.hpp"
@@ -30,13 +31,16 @@ using namespace codesign;
 using namespace codesign::bench;
 
 template <typename App>
-void report(const char *Fig, const char *Name, App &A, bool IncludeAssumed) {
+void report(BenchReport &Rep, const char *Fig, const char *Name, App &A,
+            bool IncludeAssumed) {
   std::printf("\n--- Figure %s: %s ---\n", Fig, Name);
   auto Results = runConfigs(A, IncludeAssumed);
   Table T({"Build", "Kernel cycles", "Relative perf (Old RT = 1.0)"});
   for (const AppRunResult &R : Results) {
     T.startRow();
     T.cell(R.Build);
+    json::Value &Row =
+        Rep.addAppRow(std::string(Fig) + "/" + R.Build, Name, R);
     if (!R.Ok) {
       T.cell("n/a");
       T.cell("n/a");
@@ -44,6 +48,7 @@ void report(const char *Fig, const char *Name, App &A, bool IncludeAssumed) {
     }
     T.cell(static_cast<std::uint64_t>(R.Metrics.KernelCycles));
     T.cell(relativePerf(Results, R), 2);
+    Row.set("relative_perf", json::Value(relativePerf(Results, R)));
   }
   T.print(std::cout);
 }
@@ -52,44 +57,52 @@ void report(const char *Fig, const char *Name, App &A, bool IncludeAssumed) {
 
 int main() {
   banner("Figure 10", "relative performance per application and build");
+  BenchReport Report("fig10_relative_performance");
+  Report.config().set("smoke", json::Value(smokeMode()));
 
   {
     vgpu::VirtualGPU GPU;
+    GPU.setProfiling(true);
     apps::XSBenchConfig Cfg;
-    Cfg.NLookups = 8192;
-    Cfg.Teams = 64;
-    Cfg.Threads = 128;
+    Cfg.NLookups = smokeSize<std::uint64_t>(8192, 512);
+    Cfg.Teams = smokeSize<std::uint32_t>(64, 8);
+    Cfg.Threads = smokeSize<std::uint32_t>(128, 64);
     apps::XSBench App(GPU, Cfg);
-    report("10a", "XSBench (memory bound)", App, /*IncludeAssumed=*/true);
+    report(Report, "10a", "XSBench (memory bound)", App,
+           /*IncludeAssumed=*/true);
   }
   {
     vgpu::VirtualGPU GPU;
+    GPU.setProfiling(true);
     apps::RSBenchConfig Cfg;
-    Cfg.NLookups = 128 * 64 * 4;
-    Cfg.Teams = 128;
-    Cfg.Threads = 64;
+    Cfg.Teams = smokeSize<std::uint32_t>(128, 8);
+    Cfg.Threads = smokeSize<std::uint32_t>(64, 16);
+    Cfg.NLookups = std::uint64_t(Cfg.Teams) * Cfg.Threads * 4;
     apps::RSBench App(GPU, Cfg);
-    report("10b", "RSBench (compute bound; assumed build n/a as in the "
-                  "paper's Figure 11)",
+    report(Report, "10b",
+           "RSBench (compute bound; assumed build n/a as in the "
+           "paper's Figure 11)",
            App, /*IncludeAssumed=*/false);
   }
   {
     vgpu::VirtualGPU GPU;
+    GPU.setProfiling(true);
     apps::TestSNAPConfig Cfg;
-    Cfg.NAtoms = 128;
-    Cfg.Teams = 64;
+    Cfg.NAtoms = smokeSize<std::uint32_t>(128, 16);
+    Cfg.Teams = smokeSize<std::uint32_t>(64, 8);
     apps::TestSNAP App(GPU, Cfg);
-    report("10c", "TestSNAP (team-shared scratch workspaces)", App,
+    report(Report, "10c", "TestSNAP (team-shared scratch workspaces)", App,
            /*IncludeAssumed=*/true);
   }
   {
     vgpu::VirtualGPU GPU;
+    GPU.setProfiling(true);
     apps::MiniFMMConfig Cfg;
-    Cfg.Teams = 32;
+    Cfg.Teams = smokeSize<std::uint32_t>(32, 4);
     apps::MiniFMM App(GPU, Cfg);
-    report("10d", "MiniFMM (dual-tree traversal, nested tasks)", App,
+    report(Report, "10d", "MiniFMM (dual-tree traversal, nested tasks)", App,
            /*IncludeAssumed=*/true);
   }
   codesign::bench::printCounterFooter();
-  return 0;
+  return Report.write();
 }

@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 #include "BenchCommon.hpp"
+#include "BenchReport.hpp"
 
 #include "apps/GridMini.hpp"
 #include "apps/MiniFMM.hpp"
@@ -26,53 +27,74 @@ using namespace codesign::bench;
 
 int main() {
   banner("Figure 11", "kernel time, registers and static shared memory");
+  BenchReport Report("fig11_resources");
   Table T({"App", "Build", "Kernel cycles", "# Regs", "SMem", "Check"});
+
+  const auto AddJsonRows = [&](const char *App,
+                               const std::vector<AppRunResult> &Results) {
+    for (const AppRunResult &R : Results)
+      Report.addAppRow(std::string(App) + "/" + R.Build, App, R);
+  };
 
   {
     vgpu::VirtualGPU GPU;
+    GPU.setProfiling(true);
     apps::XSBenchConfig Cfg;
-    Cfg.NLookups = 4096;
-    Cfg.Teams = 32;
-    Cfg.Threads = 128;
+    Cfg.NLookups = smokeSize<std::uint64_t>(4096, 512);
+    Cfg.Teams = smokeSize<std::uint32_t>(32, 8);
+    Cfg.Threads = smokeSize<std::uint32_t>(128, 64);
     apps::XSBench App(GPU, Cfg);
-    addFig11Rows(T, "XSBench", runConfigs(App));
+    const auto Results = runConfigs(App);
+    addFig11Rows(T, "XSBench", Results);
+    AddJsonRows("XSBench", Results);
   }
   {
     vgpu::VirtualGPU GPU;
+    GPU.setProfiling(true);
     apps::RSBenchConfig Cfg;
-    Cfg.NLookups = 64 * 64 * 4;
-    Cfg.Teams = 64;
-    Cfg.Threads = 64;
+    Cfg.Teams = smokeSize<std::uint32_t>(64, 8);
+    Cfg.Threads = smokeSize<std::uint32_t>(64, 16);
+    Cfg.NLookups = std::uint64_t(Cfg.Teams) * Cfg.Threads * 4;
     apps::RSBench App(GPU, Cfg);
-    addFig11Rows(T, "RSBench", runConfigs(App, /*IncludeAssumed=*/false));
+    const auto Results = runConfigs(App, /*IncludeAssumed=*/false);
+    addFig11Rows(T, "RSBench", Results);
+    AddJsonRows("RSBench", Results);
   }
   {
     vgpu::VirtualGPU GPU;
+    GPU.setProfiling(true);
     apps::GridMiniConfig Cfg;
-    Cfg.Volume = 4096;
-    Cfg.Teams = 32;
+    Cfg.Volume = smokeSize<std::uint64_t>(4096, 512);
+    Cfg.Teams = smokeSize<std::uint32_t>(32, 4);
     Cfg.Threads = 128;
     apps::GridMini App(GPU, Cfg);
-    addFig11Rows(T, "GridMini", runConfigs(App));
+    const auto Results = runConfigs(App);
+    addFig11Rows(T, "GridMini", Results);
+    AddJsonRows("GridMini", Results);
   }
   {
     vgpu::VirtualGPU GPU;
+    GPU.setProfiling(true);
     apps::TestSNAPConfig Cfg;
-    Cfg.NAtoms = 128;
-    Cfg.Teams = 64;
+    Cfg.NAtoms = smokeSize<std::uint32_t>(128, 16);
+    Cfg.Teams = smokeSize<std::uint32_t>(64, 8);
     apps::TestSNAP App(GPU, Cfg);
-    addFig11Rows(T, "TestSNAP", runConfigs(App),
-                 "n/a (Kokkos; paper Section V-A)");
+    const auto Results = runConfigs(App);
+    addFig11Rows(T, "TestSNAP", Results, "n/a (Kokkos; paper Section V-A)");
+    AddJsonRows("TestSNAP", Results);
   }
   {
     vgpu::VirtualGPU GPU;
+    GPU.setProfiling(true);
     apps::MiniFMMConfig Cfg;
-    Cfg.Teams = 32;
+    Cfg.Teams = smokeSize<std::uint32_t>(32, 4);
     apps::MiniFMM App(GPU, Cfg);
-    addFig11Rows(T, "MiniFMM", runConfigs(App));
+    const auto Results = runConfigs(App);
+    addFig11Rows(T, "MiniFMM", Results);
+    AddJsonRows("MiniFMM", Results);
   }
 
   T.print(std::cout);
   codesign::bench::printCounterFooter();
-  return 0;
+  return Report.write();
 }

@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 #include "BenchCommon.hpp"
+#include "BenchReport.hpp"
 
 #include "apps/GridMini.hpp"
 
@@ -17,10 +18,15 @@ using namespace codesign::bench;
 
 int main() {
   banner("Figure 12", "GridMini SU(3)xSU(3) throughput vs lattice volume");
+  BenchReport Report("fig12_gridmini_gflops");
   Table T({"Volume", "Build", "Kernel cycles", "flops/cycle",
            "vs CUDA"});
-  for (std::uint64_t Volume : {1024ULL, 4096ULL, 16384ULL}) {
+  const std::vector<std::uint64_t> Volumes =
+      smokeMode() ? std::vector<std::uint64_t>{256, 512}
+                  : std::vector<std::uint64_t>{1024, 4096, 16384};
+  for (std::uint64_t Volume : Volumes) {
     vgpu::VirtualGPU GPU;
+    GPU.setProfiling(true);
     apps::GridMiniConfig Cfg;
     Cfg.Volume = Volume;
     Cfg.Teams = static_cast<std::uint32_t>(Volume / 128);
@@ -35,6 +41,9 @@ int main() {
       T.startRow();
       T.cell(static_cast<std::uint64_t>(Volume));
       T.cell(R.Build);
+      json::Value &Row = Report.addAppRow(
+          "v" + std::to_string(Volume) + "/" + R.Build, "GridMini", R);
+      Row.set("volume", json::Value(Volume));
       if (!R.Ok) {
         T.cell("n/a");
         T.cell("n/a");
@@ -44,9 +53,11 @@ int main() {
       T.cell(static_cast<std::uint64_t>(R.Metrics.KernelCycles));
       T.cell(R.AppMetric, 3);
       T.cell(CudaFlops > 0 ? R.AppMetric / CudaFlops : 0.0, 2);
+      Row.set("vs_cuda",
+              json::Value(CudaFlops > 0 ? R.AppMetric / CudaFlops : 0.0));
     }
   }
   T.print(std::cout);
   codesign::bench::printCounterFooter();
-  return 0;
+  return Report.write();
 }

@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 #include "BenchCommon.hpp"
+#include "BenchReport.hpp"
 
 #include "apps/GridMini.hpp"
 
@@ -51,23 +52,29 @@ const AblationRow Rows[] = {
 
 int main() {
   banner("Figure 13", "GridMini with one optimization disabled at a time");
+  BenchReport Report("fig13_ablation_gridmini");
   vgpu::VirtualGPU GPU;
+  GPU.setProfiling(true);
   apps::GridMiniConfig Cfg;
   // Enough teams per SM that occupancy (gated by surviving runtime state)
   // shows up in wall time, as on the real GPU.
-  Cfg.Volume = 8192;
-  Cfg.Teams = 128;
+  Cfg.Volume = smokeSize<std::uint64_t>(8192, 512);
+  Cfg.Teams = smokeSize<std::uint32_t>(128, 8);
   Cfg.Threads = 64;
   apps::GridMini App(GPU, Cfg);
+  Report.config().set("volume", json::Value(Cfg.Volume));
+  Report.config().set("teams", json::Value(Cfg.Teams));
+  Report.config().set("threads", json::Value(Cfg.Threads));
 
   Table T({"Pipeline variant", "Kernel cycles", "# Regs", "SMem",
            "Slowdown vs full"});
   double FullCycles = 0;
   for (const AblationRow &Row : Rows) {
-    frontend::CompileOptions Options =
-        frontend::CompileOptions::newRTNoAssumptions();
-    Row.Disable(Options.Opt);
+    const frontend::CompileOptions Options =
+        frontend::CompileOptions::newRTNoAssumptions().withOptTweak(
+            Row.Disable);
     AppRunResult R = App.run({Row.Name, Options});
+    json::Value &JRow = Report.addAppRow(Row.Name, "GridMini", R);
     T.startRow();
     T.cell(std::string(Row.Name));
     if (!R.Ok || !R.Verified) {
@@ -84,8 +91,9 @@ int main() {
     T.cell(static_cast<std::uint64_t>(R.Stats.Registers));
     T.cell(formatBytes(R.Stats.SharedMemBytes));
     T.cell(Cycles / FullCycles, 2);
+    JRow.set("slowdown_vs_full", json::Value(Cycles / FullCycles));
   }
   T.print(std::cout);
   codesign::bench::printCounterFooter();
-  return 0;
+  return Report.write();
 }

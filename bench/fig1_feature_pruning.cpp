@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 #include "BenchCommon.hpp"
+#include "BenchReport.hpp"
 
 #include "frontend/TargetCompiler.hpp"
 #include "host/HostRuntime.hpp"
@@ -53,32 +54,31 @@ KernelSpec spec(std::int64_t BodyId) {
 int main() {
   banner("Figure 1 / Section III-G",
          "feature pruning and zero-overhead debugging");
+  BenchReport Report("fig1_feature_pruning");
   vgpu::VirtualGPU GPU;
+  GPU.setProfiling(true);
   const std::int64_t BodyId = registerBody(GPU);
 
   struct Row {
     const char *Name;
     CompileOptions Options;
   };
-  CompileOptions Release = CompileOptions::newRTNoAssumptions();
-  CompileOptions Assumed = CompileOptions::newRT();
-  CompileOptions DebugAsserts = Release;
-  DebugAsserts.CG.DebugKind = rt::DebugAssertions;
-  CompileOptions DebugFull = Release;
-  DebugFull.CG.DebugKind = rt::DebugAssertions | rt::DebugFunctionTracing;
-  CompileOptions Unoptimized = Release;
-  Unoptimized.RunOptimizer = false;
-
+  const CompileOptions Release = CompileOptions::newRTNoAssumptions();
   const Row Rows[] = {
-      {"Unoptimized (everything linked in)", Unoptimized},
+      {"Unoptimized (everything linked in)", Release.withOptimizer(false)},
       {"Release (full openmp-opt)", Release},
-      {"Release + oversubscription assumptions", Assumed},
-      {"Debug: assertions", DebugAsserts},
-      {"Debug: assertions + function tracing", DebugFull},
+      {"Release + oversubscription assumptions", CompileOptions::newRT()},
+      {"Debug: assertions", Release.withDebug(rt::DebugAssertions)},
+      {"Debug: assertions + function tracing",
+       Release.withDebug(rt::DebugAssertions | rt::DebugFunctionTracing)},
   };
 
-  constexpr std::uint64_t N = 4096;
-  constexpr std::uint32_t Teams = 32, Threads = 128;
+  const std::uint64_t N = smokeSize<std::uint64_t>(4096, 256);
+  const std::uint32_t Teams = smokeSize<std::uint32_t>(32, 4);
+  const std::uint32_t Threads = smokeSize<std::uint32_t>(128, 32);
+  Report.config().set("n", json::Value(N));
+  Report.config().set("teams", json::Value(Teams));
+  Report.config().set("threads", json::Value(Threads));
 
   Table T({"Build", "Code size", "# Regs", "SMem", "Kernel cycles"});
   for (const Row &R : Rows) {
@@ -90,7 +90,12 @@ int main() {
     host::HostRuntime Host(GPU);
     std::vector<double> Y(N, 1.0);
     auto Mapped = Host.enterData(Y.data(), N * 8);
-    Host.registerImage(*CK->M);
+    auto Registered = Host.registerImage(*CK->M);
+    if (!Registered) {
+      std::fprintf(stderr, "registerImage failed: %s\n",
+                   Registered.error().message().c_str());
+      continue;
+    }
     const host::KernelArg Args[] = {
         host::KernelArg::mapped(Y.data()),
         host::KernelArg::i64(static_cast<std::int64_t>(N))};
@@ -105,6 +110,19 @@ int main() {
     else
       T.cell("n/a");
 
+    json::Value &Row = Report.addRow(R.Name);
+    Row.set("build", json::Value(R.Name));
+    Row.set("ok", json::Value(bool(LR && LR->Ok)));
+    Row.set("code_size", json::Value(CK->Stats.CodeSize));
+    Row.set("regs", json::Value(std::uint64_t(CK->Stats.Registers)));
+    Row.set("smem_bytes", json::Value(CK->Stats.SharedMemBytes));
+    Row.set("compile", BenchReport::timingJson(CK->Timing));
+    if (LR && LR->Ok) {
+      Row.set("cycles", json::Value(LR->Metrics.KernelCycles));
+      if (LR->Profile.Collected)
+        Row.set("profile", BenchReport::profileJson(LR->Profile));
+    }
+
     (void)Mapped;
   }
   T.print(std::cout);
@@ -113,5 +131,5 @@ int main() {
               "pruned (Figure 1).\n",
               std::string(rt::DebugKindName).c_str());
   codesign::bench::printCounterFooter();
-  return 0;
+  return Report.write();
 }

@@ -9,6 +9,8 @@
 //===----------------------------------------------------------------------===//
 #include <benchmark/benchmark.h>
 
+#include "BenchReport.hpp"
+
 #include "frontend/Driver.hpp"
 #include "frontend/KernelCache.hpp"
 #include "frontend/TargetCompiler.hpp"
@@ -153,6 +155,51 @@ void BM_InterpreterHostThreads(benchmark::State &State) {
 }
 BENCHMARK(BM_InterpreterHostThreads)->Arg(1)->Arg(2)->Arg(4);
 
+/// Console reporter that additionally captures every run so main() can
+/// emit the BENCH_micro_pipeline.json report.
+class CapturingReporter : public benchmark::ConsoleReporter {
+public:
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs)
+      Captured.push_back({R.benchmark_name(), R.GetAdjustedRealTime(),
+                          static_cast<std::uint64_t>(R.iterations)});
+    ConsoleReporter::ReportRuns(Runs);
+  }
+
+  struct Entry {
+    std::string Name;
+    double RealNs;
+    std::uint64_t Iterations;
+  };
+  std::vector<Entry> Captured;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // These microbenchmarks measure the tracing-disabled fast path: the
+  // report is constructed with EnableTracing=false, and the tracer must
+  // stay off for the duration (near-zero-overhead acceptance criterion).
+  bench::BenchReport Report("micro_pipeline", /*EnableTracing=*/false);
+
+  std::vector<char *> Args(argv, argv + argc);
+  std::string MinTime = "--benchmark_min_time=0.01";
+  if (bench::smokeMode())
+    Args.push_back(MinTime.data());
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  CapturingReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+
+  CODESIGN_ASSERT(!codesign::trace::Tracer::global().enabled(),
+                  "micro_pipeline must run with tracing disabled");
+  for (const CapturingReporter::Entry &E : Reporter.Captured) {
+    codesign::json::Value &Row = Report.addRow(E.Name);
+    Row.set("real_ns_per_iter", codesign::json::Value(E.RealNs));
+    Row.set("iterations", codesign::json::Value(E.Iterations));
+  }
+  return Report.write();
+}

@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 #include "BenchCommon.hpp"
+#include "BenchReport.hpp"
 
 #include "apps/XSBench.hpp"
 
@@ -19,12 +20,18 @@ using namespace codesign::bench;
 
 int main() {
   banner("Section V-B", "loop over-subscription assumption effects (XSBench)");
+  BenchReport Report("secVB_oversubscription");
   vgpu::VirtualGPU GPU;
+  GPU.setProfiling(true);
   apps::XSBenchConfig Cfg;
-  Cfg.NLookups = 8192; // == Teams * Threads: one iteration per thread
-  Cfg.Teams = 64;
-  Cfg.Threads = 128;
+  // NLookups == Teams * Threads: one iteration per thread.
+  Cfg.Teams = smokeSize<std::uint32_t>(64, 8);
+  Cfg.Threads = smokeSize<std::uint32_t>(128, 32);
+  Cfg.NLookups = std::uint64_t(Cfg.Teams) * Cfg.Threads;
   apps::XSBench App(GPU, Cfg);
+  Report.config().set("lookups", json::Value(Cfg.NLookups));
+  Report.config().set("teams", json::Value(Cfg.Teams));
+  Report.config().set("threads", json::Value(Cfg.Threads));
 
   Table T({"Build", "Kernel cycles", "# Regs", "Phi nodes (loop state)",
            "Delta time"});
@@ -33,6 +40,12 @@ int main() {
   AppRunResult With = App.run({"with", frontend::CompileOptions::newRT()});
   const auto Row = [&](const char *Name, const AppRunResult &R,
                        double Base) {
+    json::Value &JRow = Report.addAppRow(Name, "XSBench", R);
+    if (Base > 0)
+      JRow.set("delta_pct",
+               json::Value((static_cast<double>(R.Metrics.KernelCycles) -
+                            Base) /
+                           Base * 100.0));
     T.startRow();
     T.cell(std::string(Name));
     T.cell(static_cast<std::uint64_t>(R.Metrics.KernelCycles));
@@ -73,7 +86,7 @@ int main() {
   MB.Args = {frontend::BodyArg::iter(), frontend::BodyArg::arg(0)};
   Micro.Stmts = {frontend::Stmt::distributeParallelFor(
       frontend::TripCount::argument(1), MB)};
-  constexpr std::uint64_t N = 64 * 128;
+  const std::uint64_t N = std::uint64_t(Cfg.Teams) * Cfg.Threads;
   vgpu::DeviceAddr Buf = GPU.allocate(N * 8);
   std::uint64_t Args[] = {Buf.Bits, N};
   Table T2({"Build", "Kernel cycles", "# Regs", "Delta time"});
@@ -83,7 +96,8 @@ int main() {
             "w/o assumptions", frontend::CompileOptions::newRTNoAssumptions()},
         {"+oversubscription", frontend::CompileOptions::newRT()}}) {
     auto CK = frontend::compileKernel(Micro, Options, GPU.registry());
-    auto R = GPU.launch(*GPU.loadImage(*CK->M), CK->Kernel, Args, 64, 128);
+    auto R = GPU.launch(*GPU.loadImage(*CK->M), CK->Kernel, Args, Cfg.Teams,
+                        Cfg.Threads);
     T2.startRow();
     T2.cell(std::string(Name));
     T2.cell(static_cast<std::uint64_t>(R.Metrics.KernelCycles));
@@ -92,8 +106,19 @@ int main() {
     if (MicroBase == 0)
       MicroBase = Cyc;
     T2.cell(formatDouble((Cyc - MicroBase) / MicroBase * 100.0, 2) + "%");
+
+    json::Value &JRow =
+        Report.addRow(std::string("micro/") + Name);
+    JRow.set("build", json::Value(Name));
+    JRow.set("ok", json::Value(R.Ok));
+    JRow.set("cycles", json::Value(R.Metrics.KernelCycles));
+    JRow.set("regs", json::Value(std::uint64_t(CK->Stats.Registers)));
+    JRow.set("smem_bytes", json::Value(CK->Stats.SharedMemBytes));
+    JRow.set("compile", BenchReport::timingJson(CK->Timing));
+    if (R.Profile.Collected)
+      JRow.set("profile", BenchReport::profileJson(R.Profile));
   }
   T2.print(std::cout);
   codesign::bench::printCounterFooter();
-  return 0;
+  return Report.write();
 }

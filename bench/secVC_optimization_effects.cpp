@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 #include "BenchCommon.hpp"
+#include "BenchReport.hpp"
 
 #include "apps/MiniFMM.hpp"
 #include "apps/XSBench.hpp"
@@ -39,15 +40,18 @@ const Variant Variants[] = {
     {"w/o IV-D", [](opt::OptOptions &O) { O.EnableBarrierElim = false; }},
 };
 
-template <typename App> void report(const char *Name, App &A) {
+template <typename App>
+void report(BenchReport &Rep, const char *Name, App &A) {
   std::printf("\n--- %s ---\n", Name);
   Table T({"Pipeline variant", "Kernel cycles", "Slowdown vs full"});
   double Full = 0;
   for (const Variant &V : Variants) {
-    frontend::CompileOptions Options =
-        frontend::CompileOptions::newRTNoAssumptions();
-    V.Disable(Options.Opt);
+    const frontend::CompileOptions Options =
+        frontend::CompileOptions::newRTNoAssumptions().withOptTweak(
+            V.Disable);
     AppRunResult R = A.run({V.Name, Options});
+    json::Value &Row =
+        Rep.addAppRow(std::string(Name) + "/" + V.Name, Name, R);
     T.startRow();
     T.cell(std::string(V.Name));
     if (!R.Ok || !R.Verified) {
@@ -60,6 +64,7 @@ template <typename App> void report(const char *Name, App &A) {
       Full = Cycles;
     T.cell(static_cast<std::uint64_t>(R.Metrics.KernelCycles));
     T.cell(Cycles / Full, 3);
+    Row.set("slowdown_vs_full", json::Value(Cycles / Full));
   }
   T.print(std::cout);
 }
@@ -68,23 +73,26 @@ template <typename App> void report(const char *Name, App &A) {
 
 int main() {
   banner("Section V-C", "optimization effects on XSBench and MiniFMM");
+  BenchReport Report("secVC_optimization_effects");
   {
     vgpu::VirtualGPU GPU;
+    GPU.setProfiling(true);
     apps::XSBenchConfig Cfg;
     // Enough teams per SM that surviving runtime state gates occupancy.
-    Cfg.NLookups = 8192;
-    Cfg.Teams = 128;
-    Cfg.Threads = 64;
+    Cfg.Teams = smokeSize<std::uint32_t>(128, 8);
+    Cfg.Threads = smokeSize<std::uint32_t>(64, 32);
+    Cfg.NLookups = std::uint64_t(Cfg.Teams) * Cfg.Threads;
     apps::XSBench App(GPU, Cfg);
-    report("XSBench", App);
+    report(Report, "XSBench", App);
   }
   {
     vgpu::VirtualGPU GPU;
+    GPU.setProfiling(true);
     apps::MiniFMMConfig Cfg;
-    Cfg.Teams = 32;
+    Cfg.Teams = smokeSize<std::uint32_t>(32, 4);
     apps::MiniFMM App(GPU, Cfg);
-    report("MiniFMM", App);
+    report(Report, "MiniFMM", App);
   }
   codesign::bench::printCounterFooter();
-  return 0;
+  return Report.write();
 }

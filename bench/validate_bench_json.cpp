@@ -1,0 +1,79 @@
+//===- bench/validate_bench_json.cpp - BENCH_*.json schema checker ---------===//
+//
+// Validates one or more bench report files against the "codesign-bench/1"
+// schema (see BenchReport.hpp): the document must be an object with
+// schema/bench/rows, every row must be an object carrying a "name" string,
+// and the counter sections, when present, must be objects. Used by the
+// bench-smoke ctest label; exits non-zero naming the first violation.
+//
+//   ./validate_bench_json BENCH_fig1_feature_pruning.json [...]
+//
+//===----------------------------------------------------------------------===//
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/Json.hpp"
+
+namespace {
+
+using codesign::json::Value;
+
+bool fail(const std::string &File, const char *What) {
+  std::fprintf(stderr, "%s: INVALID: %s\n", File.c_str(), What);
+  return false;
+}
+
+bool validate(const std::string &File) {
+  std::ifstream In(File);
+  if (!In)
+    return fail(File, "cannot open file");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  auto Doc = codesign::json::parse(Buf.str());
+  if (!Doc)
+    return fail(File, Doc.error().message().c_str());
+  if (!Doc->isObject())
+    return fail(File, "document is not an object");
+  const Value *Schema = Doc->find("schema");
+  if (!Schema || !Schema->isString() ||
+      Schema->asString() != "codesign-bench/1")
+    return fail(File, "missing or wrong \"schema\" (want codesign-bench/1)");
+  const Value *Bench = Doc->find("bench");
+  if (!Bench || !Bench->isString() || Bench->asString().empty())
+    return fail(File, "missing \"bench\" name");
+  const Value *Rows = Doc->find("rows");
+  if (!Rows || !Rows->isArray())
+    return fail(File, "missing \"rows\" array");
+  if (Rows->size() == 0)
+    return fail(File, "\"rows\" is empty — the bench produced no results");
+  for (const Value &Row : Rows->elements()) {
+    if (!Row.isObject())
+      return fail(File, "row is not an object");
+    const Value *Name = Row.find("name");
+    if (!Name || !Name->isString() || Name->asString().empty())
+      return fail(File, "row without a \"name\" string");
+  }
+  for (const char *Section : {"config", "pass_timings", "kernel_cache",
+                              "counters"}) {
+    const Value *S = Doc->find(Section);
+    if (S && !S->isObject())
+      return fail(File, "section is present but not an object");
+  }
+  std::printf("%s: ok (%zu rows)\n", File.c_str(), Rows->size());
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_<name>.json...\n", argv[0]);
+    return 2;
+  }
+  bool AllOk = true;
+  for (int I = 1; I < argc; ++I)
+    AllOk &= validate(argv[I]);
+  return AllOk ? 0 : 1;
+}

@@ -55,8 +55,7 @@ int main() {
   // --- 1. A violated user assumption -------------------------------------
   // 4096 iterations on 2x32 threads while asserting teams-oversubscription.
   CompileOptions Release = CompileOptions::newRT(); // assumes oversubscription
-  CompileOptions Debug = Release;
-  Debug.CG.DebugKind = rt::DebugAssertions;
+  CompileOptions Debug = Release.withDebug(rt::DebugAssertions);
 
   constexpr std::uint64_t N = 4096;
   std::vector<double> Out(N, 0.0);
@@ -68,7 +67,11 @@ int main() {
       return;
     }
     host::HostRuntime Host(GPU);
-    Host.registerImage(*CK->M);
+    if (auto Reg = Host.registerImage(*CK->M); !Reg) {
+      std::printf("  [%s] registerImage failed: %s\n", Label,
+                  Reg.error().message().c_str());
+      return;
+    }
     (void)Host.enterData(Out.data(), N * 8);
     const host::KernelArg Args[] = {
         host::KernelArg::mapped(Out.data()),
@@ -90,8 +93,8 @@ int main() {
 
   // --- 2. Function tracing -------------------------------------------------
   std::printf("\n2. Runtime entry tracing (debug-kind bit 2):\n");
-  CompileOptions Traced = CompileOptions::newRTNoAssumptions();
-  Traced.CG.DebugKind = rt::DebugAssertions | rt::DebugFunctionTracing;
+  CompileOptions Traced = CompileOptions::newRTNoAssumptions().withDebug(
+      rt::DebugAssertions | rt::DebugFunctionTracing);
   auto CK = compileKernel(makeSpec(BodyId), Traced, GPU.registry());
   if (CK) {
     auto Image = GPU.loadImage(*CK->M);

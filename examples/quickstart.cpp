@@ -73,7 +73,11 @@ int main() {
   // 4. Host side: map data (like `omp target enter data map(to: ...)`),
   //    launch, copy back.
   host::HostRuntime Host(GPU);
-  Host.registerImage(*Compiled->M);
+  if (auto Reg = Host.registerImage(*Compiled->M); !Reg) {
+    std::fprintf(stderr, "registerImage failed: %s\n",
+                 Reg.error().message().c_str());
+    return 1;
+  }
   constexpr std::uint64_t N = 1 << 14;
   std::vector<double> X(N), Y(N);
   for (std::uint64_t I = 0; I < N; ++I) {

@@ -10,10 +10,13 @@
 //===----------------------------------------------------------------------===//
 #pragma once
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "frontend/TargetCompiler.hpp"
+#include "host/HostRuntime.hpp"
 #include "support/Rng.hpp"
 #include "vgpu/VirtualGPU.hpp"
 
@@ -40,10 +43,41 @@ struct AppRunResult {
   std::string Error;
   vgpu::LaunchMetrics Metrics;
   vgpu::KernelStaticStats Stats;
+  /// Launch profile (op classes, byte traffic, barrier waits, team
+  /// imbalance); Collected only when the device had profiling enabled.
+  vgpu::LaunchProfile Profile;
+  /// Per-phase compile timing; populated only when tracing is enabled.
+  frontend::CompilePhaseTiming Compile;
   bool Verified = false;
   /// Application-level throughput in work-items per kilocycle (apps scale
   /// and label this as appropriate: lookups, sites, atom-steps, pairs).
   double AppMetric = 0.0;
+};
+
+/// Keeps exactly one compiled app module registered with a HostRuntime.
+/// Apps compile the same kernel name once per build configuration, and the
+/// host runtime rejects duplicate kernel names, so every new compilation
+/// swaps out the previous image. Retired modules stay alive until the slot
+/// is destroyed (results of earlier runs may still reference them).
+class ImageSlot {
+public:
+  explicit ImageSlot(host::HostRuntime &Host) : Host(Host) {}
+
+  /// Register M with the runtime, replacing the previously installed
+  /// module (if any).
+  Expected<void> install(std::shared_ptr<ir::Module> M) {
+    if (Current) {
+      Host.unregisterImage(*Current);
+      Retired.push_back(std::move(Current));
+    }
+    Current = std::move(M);
+    return Host.registerImage(*Current);
+  }
+
+private:
+  host::HostRuntime &Host;
+  std::shared_ptr<ir::Module> Current;
+  std::vector<std::shared_ptr<ir::Module>> Retired;
 };
 
 /// Device-side deterministic hash used by kernels that need per-iteration

@@ -116,8 +116,12 @@ AppRunResult GridMini::run(const BuildConfig &Build) {
     return Result;
   }
   Result.Stats = CK->Stats;
-  LiveModules.push_back(std::move(CK->M));
-  Host.registerImage(*LiveModules.back());
+  Result.Compile = CK->Timing;
+  auto Registered = Images.install(std::move(CK->M));
+  if (!Registered) {
+    Result.Error = Registered.error().message();
+    return Result;
+  }
 
   std::fill(FieldOut.begin(), FieldOut.end(), 0.0);
   CODESIGN_ASSERT(Host.updateTo(FieldOut.data()).hasValue(), "reset failed");
@@ -134,6 +138,7 @@ AppRunResult GridMini::run(const BuildConfig &Build) {
   }
   Result.Ok = true;
   Result.Metrics = LR->Metrics;
+  Result.Profile = LR->Profile;
   CODESIGN_ASSERT(Host.updateFrom(FieldOut.data()).hasValue(),
                   "readback failed");
   Result.Verified = true;

@@ -53,7 +53,7 @@ private:
 
   std::vector<double> FieldU, FieldV, FieldOut; ///< [V][3][3][2]
   std::vector<std::int64_t> BoundBlock;         ///< device-resident bound
-  std::vector<std::shared_ptr<ir::Module>> LiveModules;
+  ImageSlot Images{Host};
 };
 
 } // namespace codesign::apps

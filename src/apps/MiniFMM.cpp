@@ -136,9 +136,13 @@ AppRunResult MiniFMM::run(const BuildConfig &Build) {
     return Result;
   }
   Result.Stats = CK->Stats;
+  Result.Compile = CK->Timing;
   const ir::ExecMode Mode = CK->Kernel->execMode();
-  LiveModules.push_back(std::move(CK->M));
-  Host.registerImage(*LiveModules.back());
+  auto Registered = Images.install(std::move(CK->M));
+  if (!Registered) {
+    Result.Error = Registered.error().message();
+    return Result;
+  }
 
   std::fill(Out.begin(), Out.end(), 0.0);
   std::fill(TeamMarks.begin(), TeamMarks.end(), 0.0);
@@ -160,6 +164,7 @@ AppRunResult MiniFMM::run(const BuildConfig &Build) {
   }
   Result.Ok = true;
   Result.Metrics = LR->Metrics;
+  Result.Profile = LR->Profile;
   CODESIGN_ASSERT(Host.updateFrom(Out.data()).hasValue() &&
                       Host.updateFrom(TeamMarks.data()).hasValue() &&
                       Host.updateFrom(TaskCount.data()).hasValue(),

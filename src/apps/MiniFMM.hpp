@@ -58,7 +58,7 @@ private:
   std::vector<double> Out;       ///< [Teams*PairsPerTeam]
   std::vector<double> TeamMarks; ///< [Teams] written by the serial stage
   std::vector<double> TaskCount; ///< [Teams] nested-task execution counter
-  std::vector<std::shared_ptr<ir::Module>> LiveModules;
+  ImageSlot Images{Host};
 };
 
 } // namespace codesign::apps

@@ -144,8 +144,12 @@ AppRunResult RSBench::run(const BuildConfig &Build) {
     return Result;
   }
   Result.Stats = CK->Stats;
-  LiveModules.push_back(std::move(CK->M));
-  Host.registerImage(*LiveModules.back());
+  Result.Compile = CK->Timing;
+  auto Registered = Images.install(std::move(CK->M));
+  if (!Registered) {
+    Result.Error = Registered.error().message();
+    return Result;
+  }
 
   std::fill(Out.begin(), Out.end(), 0.0);
   CODESIGN_ASSERT(Host.updateTo(Out.data()).hasValue(), "reset failed");
@@ -161,6 +165,7 @@ AppRunResult RSBench::run(const BuildConfig &Build) {
   }
   Result.Ok = true;
   Result.Metrics = LR->Metrics;
+  Result.Profile = LR->Profile;
   CODESIGN_ASSERT(Host.updateFrom(Out.data()).hasValue(), "readback failed");
   Result.Verified = true;
   for (std::uint64_t I = 0; I < Cfg.NLookups; ++I)

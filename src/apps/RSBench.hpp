@@ -52,7 +52,7 @@ private:
   std::vector<double> Poles;               ///< [NN][NW][NP][4]
   std::vector<std::int64_t> MaterialTable; ///< [NMat][NNucPerMat]
   std::vector<double> Out;
-  std::vector<std::shared_ptr<ir::Module>> LiveModules;
+  ImageSlot Images{Host};
 };
 
 } // namespace codesign::apps

@@ -116,8 +116,12 @@ AppRunResult TestSNAP::run(const BuildConfig &Build) {
     return Result;
   }
   Result.Stats = CK->Stats;
-  LiveModules.push_back(std::move(CK->M));
-  Host.registerImage(*LiveModules.back());
+  Result.Compile = CK->Timing;
+  auto Registered = Images.install(std::move(CK->M));
+  if (!Registered) {
+    Result.Error = Registered.error().message();
+    return Result;
+  }
 
   const std::uint64_t NPairs =
       static_cast<std::uint64_t>(Cfg.NAtoms) * Cfg.NNeighbors;
@@ -134,6 +138,7 @@ AppRunResult TestSNAP::run(const BuildConfig &Build) {
   }
   Result.Ok = true;
   Result.Metrics = LR->Metrics;
+  Result.Profile = LR->Profile;
   CODESIGN_ASSERT(Host.updateFrom(Forces.data()).hasValue(),
                   "readback failed");
   Result.Verified = true;

@@ -61,7 +61,7 @@ private:
 
   std::vector<double> Positions; ///< [NAtoms*NNeighbors][3]
   std::vector<double> Forces;    ///< [NAtoms*NNeighbors]
-  std::vector<std::shared_ptr<ir::Module>> LiveModules;
+  ImageSlot Images{Host};
 };
 
 } // namespace codesign::apps

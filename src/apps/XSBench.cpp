@@ -213,8 +213,12 @@ AppRunResult XSBench::run(const BuildConfig &Build) {
     return Result;
   }
   Result.Stats = CK->Stats;
-  LiveModules.push_back(std::move(CK->M));
-  Host.registerImage(*LiveModules.back());
+  Result.Compile = CK->Timing;
+  auto Registered = Images.install(std::move(CK->M));
+  if (!Registered) {
+    Result.Error = Registered.error().message();
+    return Result;
+  }
 
   std::fill(Out.begin(), Out.end(), 0.0);
   auto Updated = Host.updateTo(Out.data());
@@ -238,6 +242,7 @@ AppRunResult XSBench::run(const BuildConfig &Build) {
   }
   Result.Ok = true;
   Result.Metrics = LR->Metrics;
+  Result.Profile = LR->Profile;
 
   auto Back = Host.updateFrom(Out.data());
   CODESIGN_ASSERT(Back.hasValue(), "output readback failed");

@@ -67,7 +67,7 @@ private:
   std::vector<std::uint64_t> ConfigBlock;  ///< device-side config struct
   std::vector<double> Out;                 ///< [NLookups]
   /// Compiled modules must outlive their loaded images in the host runtime.
-  std::vector<std::shared_ptr<ir::Module>> LiveModules;
+  ImageSlot Images{Host};
 };
 
 } // namespace codesign::apps

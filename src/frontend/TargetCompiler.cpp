@@ -3,8 +3,43 @@
 #include "frontend/Driver.hpp"
 #include "frontend/KernelCache.hpp"
 #include "ir/Verifier.hpp"
+#include "support/Trace.hpp"
+
+#include <chrono>
 
 namespace codesign::frontend {
+
+namespace {
+
+/// Lap timer for the compile phases; inert (no clock reads) unless tracing
+/// is enabled, so BM_CompileKernelUncached measures the same path as before.
+class PhaseClock {
+public:
+  PhaseClock() : On(trace::Tracer::global().enabled()) {
+    if (On)
+      Last = std::chrono::steady_clock::now();
+  }
+
+  /// Microseconds since construction or the previous lap; 0 when off. Also
+  /// records a "frontend" span for the phase.
+  std::uint64_t lap(const char *Phase) {
+    if (!On)
+      return 0;
+    const auto Now = std::chrono::steady_clock::now();
+    const auto Micros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Now - Last)
+            .count());
+    Last = Now;
+    trace::Tracer::global().span("frontend", Phase, Micros);
+    return Micros;
+  }
+
+private:
+  bool On;
+  std::chrono::steady_clock::time_point Last;
+};
+
+} // namespace
 
 CompileOptions CompileOptions::oldRT() {
   CompileOptions O;
@@ -44,26 +79,43 @@ CompileOptions CompileOptions::cuda() {
 Expected<CompiledKernel> compileKernel(const KernelSpec &Spec,
                                        const CompileOptions &Options,
                                        const vgpu::NativeRegistry &Registry) {
-  // Remark collection observes the pipeline as a side effect, so such
-  // requests must actually compile.
-  const bool Cacheable = Options.UseKernelCache && Options.Opt.Remarks == nullptr;
+  // Observation (remarks, pass callbacks) sees the pipeline as a side
+  // effect, so such requests must actually compile.
+  const bool Cacheable = Options.UseKernelCache && !Options.Opt.observed();
+  trace::Tracer &Tracer = trace::Tracer::global();
   std::string Key;
   if (Cacheable) {
     Key = KernelCache::key(Spec, Options, Registry);
-    if (auto Cached = KernelCache::global().lookup(Key))
+    if (auto Cached = KernelCache::global().lookup(Key)) {
+      // The stored timing belongs to the compile that populated the entry;
+      // this request paid only the lookup.
+      Cached->Timing = CompilePhaseTiming{};
+      Cached->Timing.CacheHit = true;
+      if (Tracer.enabled())
+        Tracer.instant("frontend", "kernel-cache.hit");
       return *Cached;
+    }
+    if (Tracer.enabled())
+      Tracer.instant("frontend", "kernel-cache.miss");
+  } else if (Tracer.enabled()) {
+    Tracer.instant("frontend", "kernel-cache.bypass");
   }
+  CompilePhaseTiming Timing;
+  PhaseClock Clock;
   auto CG = emitKernel(Spec, Options.CG);
   if (!CG)
     return CG.error();
+  Timing.CodegenMicros = Clock.lap("codegen");
   auto Linked = linkRuntime(*CG->AppModule, Options.CG.RT);
   if (!Linked)
     return Linked.error();
+  Timing.LinkMicros = Clock.lap("link");
   {
     auto Errors = ir::verifyModule(*CG->AppModule);
     if (!Errors.empty())
       return makeError("post-link verification failed: ", Errors.front());
   }
+  Timing.VerifyMicros += Clock.lap("verify");
   if (Options.RunOptimizer) {
     opt::OptOptions OptCfg = Options.Opt;
     // Debug builds keep the assumptions alive so the virtual GPU verifies
@@ -71,15 +123,19 @@ Expected<CompiledKernel> compileKernel(const KernelSpec &Spec,
     if (Options.CG.DebugKind != 0)
       OptCfg.KeepAssumes = true;
     opt::runPipeline(*CG->AppModule, OptCfg);
+    Timing.OptMicros = Clock.lap("opt");
     auto Errors = ir::verifyModule(*CG->AppModule);
     if (!Errors.empty())
       return makeError("post-optimization verification failed: ",
                        Errors.front());
+    Timing.VerifyMicros += Clock.lap("verify");
   }
   CompiledKernel Out;
   Out.Kernel = CG->Kernel;
   Out.M = std::move(CG->AppModule);
   Out.Stats = vgpu::computeKernelStats(*Out.Kernel, Registry);
+  Timing.StatsMicros = Clock.lap("stats");
+  Out.Timing = Timing;
   if (Cacheable)
     KernelCache::global().insert(Key, Out);
   return Out;

@@ -12,12 +12,32 @@ HostRuntime::~HostRuntime() {
     Device.release(M.Addr);
 }
 
-void HostRuntime::registerImage(const ir::Module &M) {
+Expected<void> HostRuntime::registerImage(const ir::Module &M) {
+  // Validate before mutating anything so a rejected image registers
+  // nothing at all.
+  for (const auto &F : M.functions())
+    if (F->hasAttr(ir::FnAttr::Kernel) && Kernels.count(F->name()))
+      return makeError("registerImage: kernel '", F->name(),
+                       "' is already registered; unregister the previous "
+                       "image first");
   Images.push_back(Device.loadImage(M));
   const vgpu::ModuleImage *Img = Images.back().get();
   for (const auto &F : M.functions())
     if (F->hasAttr(ir::FnAttr::Kernel))
       Kernels[F->name()] = KernelEntry{Img, F.get()};
+  return {};
+}
+
+void HostRuntime::unregisterImage(const ir::Module &M) {
+  for (auto It = Kernels.begin(); It != Kernels.end();) {
+    if (&It->second.Image->module() == &M)
+      It = Kernels.erase(It);
+    else
+      ++It;
+  }
+  std::erase_if(Images, [&](const std::unique_ptr<vgpu::ModuleImage> &Img) {
+    return &Img->module() == &M;
+  });
 }
 
 Expected<DeviceAddr> HostRuntime::enterData(const void *HostPtr,

@@ -53,8 +53,15 @@ public:
   // --- Device images -------------------------------------------------------
 
   /// Register and load a compiled module; kernels become launchable by
-  /// name. The module must outlive this runtime.
-  void registerImage(const ir::Module &M);
+  /// name. The module must outlive this runtime (or be removed with
+  /// unregisterImage first). Fails — registering nothing — when any kernel
+  /// name in M is already registered: silently overwriting would leave
+  /// launches bound to an ambiguous image.
+  Expected<void> registerImage(const ir::Module &M);
+
+  /// Remove every image previously registered from M, dropping its kernel
+  /// name bindings. No-op when M was never registered.
+  void unregisterImage(const ir::Module &M);
 
   // --- Data mapping (present table, reference counted) ----------------------
 

@@ -200,11 +200,8 @@ bool runGlobalizationElim(Module &M, const OptOptions &Options,
         }
         Alloc->replaceAllUsesWith(AllocaPtr);
         BB->erase(Alloc);
-        if (Options.Remarks)
-          Options.Remarks->add(RemarkKind::Passed, "globalization-elim",
-                               F->name(),
-                               "shared allocation demoted to thread-local "
-                               "stack");
+        Options.remark(RemarkKind::Passed, "globalization-elim", F->name(),
+                       "shared allocation demoted to thread-local stack");
         Changed = true;
         continue;
       }
@@ -216,10 +213,9 @@ bool runGlobalizationElim(Module &M, const OptOptions &Options,
         // replacement global is team-visible by construction.
         std::vector<Instruction *> Frees;
         if (!collectFreesThroughAliases(Alloc, Frees)) {
-          if (Options.Remarks)
-            Options.Remarks->add(
-                RemarkKind::Missed, "globalization-elim", F->name(),
-                "team scratch has unrecognized frees; kept on the stack");
+          Options.remark(
+              RemarkKind::Missed, "globalization-elim", F->name(),
+              "team scratch has unrecognized frees; kept on the stack");
           continue;
         }
         GlobalVariable *G = M.createGlobal(
@@ -231,20 +227,15 @@ bool runGlobalizationElim(Module &M, const OptOptions &Options,
         }
         Alloc->replaceAllUsesWith(G);
         Alloc->parent()->erase(Alloc);
-        if (Options.Remarks)
-          Options.Remarks->add(RemarkKind::Passed, "globalization-elim",
-                               F->name(),
-                               "team scratch lowered to static shared "
-                               "memory");
+        Options.remark(RemarkKind::Passed, "globalization-elim", F->name(),
+                       "team scratch lowered to static shared memory");
         Changed = true;
         continue;
       }
 
-      if (Options.Remarks)
-        Options.Remarks->add(RemarkKind::Missed, "globalization-elim",
-                             F->name(),
-                             "shared allocation escapes to other threads; "
-                             "the data-sharing stack stays live");
+      Options.remark(RemarkKind::Missed, "globalization-elim", F->name(),
+                     "shared allocation escapes to other threads; "
+                     "the data-sharing stack stays live");
     }
   }
   return Changed;

@@ -1,0 +1,19 @@
+#include "opt/Observer.hpp"
+
+#include "ir/Module.hpp"
+
+namespace codesign::opt {
+
+IRSnapshot IRSnapshot::of(const ir::Module &M) {
+  IRSnapshot S;
+  S.Instructions = M.instructionCount();
+  S.Globals = M.globals().size();
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions())
+        if (I->isBarrier())
+          ++S.Barriers;
+  return S;
+}
+
+} // namespace codesign::opt

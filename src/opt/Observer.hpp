@@ -1,0 +1,89 @@
+//===- opt/Observer.hpp - Pipeline observability hooks ---------------------===//
+//
+// The openmp-opt pipeline reports two kinds of evidence (paper Sections IV-E
+// and V): *remarks* explaining why an optimization did or did not fire, and
+// *measurements* of what each pass cost and removed. An Observer bundles
+// both: a remark sink plus per-pass timing/IR-delta callbacks and an
+// end-of-pipeline summary. OptOptions carries one by value; an Observer with
+// no sink and no callbacks is inert and the pipeline skips all bookkeeping.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "opt/Remark.hpp"
+
+namespace codesign::ir {
+class Module;
+}
+
+namespace codesign::opt {
+
+/// IR size snapshot; two of these bracket a pass to give its deltas.
+struct IRSnapshot {
+  std::uint64_t Instructions = 0;
+  std::uint64_t Globals = 0;
+  std::uint64_t Barriers = 0; ///< Barrier + AlignedBarrier instructions.
+
+  /// Measure a module.
+  static IRSnapshot of(const ir::Module &M);
+};
+
+/// One pass invocation inside runPipeline.
+struct PassExecution {
+  std::string Pass;  ///< Pass name, e.g. "simplify-cfg".
+  std::string Phase; ///< Pipeline phase: "structural", "fixpoint",
+                     ///< "strip-assumes", "barrier-cleanup".
+  int Round = -1;    ///< Iteration within the phase's loop, -1 if unlooped.
+  bool Changed = false;
+  std::uint64_t Micros = 0; ///< Steady-clock wall time.
+  IRSnapshot Before;
+  IRSnapshot After;
+
+  /// Net instructions removed (negative when the pass grew the module,
+  /// e.g. inlining).
+  [[nodiscard]] std::int64_t instructionsRemoved() const {
+    return static_cast<std::int64_t>(Before.Instructions) -
+           static_cast<std::int64_t>(After.Instructions);
+  }
+  [[nodiscard]] std::int64_t globalsRemoved() const {
+    return static_cast<std::int64_t>(Before.Globals) -
+           static_cast<std::int64_t>(After.Globals);
+  }
+  [[nodiscard]] std::int64_t barriersRemoved() const {
+    return static_cast<std::int64_t>(Before.Barriers) -
+           static_cast<std::int64_t>(After.Barriers);
+  }
+};
+
+/// Whole-pipeline summary delivered once per runPipeline call.
+struct PipelineSummary {
+  bool Changed = false;
+  int FixpointRounds = 0; ///< Rounds the main fixpoint loop actually ran.
+  std::uint64_t TotalMicros = 0;
+  IRSnapshot Before;
+  IRSnapshot After;
+};
+
+/// Observability hooks for one pipeline run. Plain struct: fill in what you
+/// want, leave the rest empty.
+struct Observer {
+  /// Sink for passed/missed/analysis remarks (may be null).
+  RemarkCollector *Remarks = nullptr;
+  /// Called after every pass invocation with its timing and IR deltas.
+  std::function<void(const PassExecution &)> OnPass;
+  /// Called once when runPipeline returns.
+  std::function<void(const PipelineSummary &)> OnPipelineEnd;
+
+  /// True when any hook is attached — the pipeline only does per-pass
+  /// bookkeeping (snapshots, timers) for active observers.
+  [[nodiscard]] bool active() const {
+    return Remarks != nullptr || static_cast<bool>(OnPass) ||
+           static_cast<bool>(OnPipelineEnd);
+  }
+};
+
+} // namespace codesign::opt

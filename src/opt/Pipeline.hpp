@@ -19,6 +19,7 @@
 #pragma once
 
 #include "ir/Module.hpp"
+#include "opt/Observer.hpp"
 #include "opt/Remark.hpp"
 
 namespace codesign::opt {
@@ -39,8 +40,31 @@ struct OptOptions {
   bool KeepAssumes = false;
   /// Upper bound on fixpoint rounds.
   int MaxFixpointRounds = 10;
-  /// Optional sink for passed/missed remarks.
+  /// Observability hooks: remark sink plus per-pass timing/IR-delta
+  /// callbacks (see opt/Observer.hpp).
+  Observer Obs;
+  /// Deprecated shim for the pre-Observer API; prefer Obs.Remarks. Both
+  /// channels feed remarkSink(), so existing call sites keep working.
   RemarkCollector *Remarks = nullptr;
+
+  /// The effective remark sink, merging the Observer with the legacy
+  /// pointer (Observer wins when both are set).
+  [[nodiscard]] RemarkCollector *remarkSink() const {
+    return Obs.Remarks ? Obs.Remarks : Remarks;
+  }
+  /// Emit a remark to the effective sink, if any. Passes call this instead
+  /// of touching the sink directly.
+  void remark(RemarkKind K, std::string Pass, std::string Function,
+              std::string Message) const {
+    if (RemarkCollector *Sink = remarkSink())
+      Sink->add(K, std::move(Pass), std::move(Function), std::move(Message));
+  }
+  /// True when any observation channel is attached. Observed compiles are
+  /// not cacheable: a cache hit would skip the pipeline and silently
+  /// produce no remarks or pass records.
+  [[nodiscard]] bool observed() const {
+    return Obs.active() || Remarks != nullptr;
+  }
 
   /// The "nightly" pipeline the paper compares against: the new runtime is
   /// in place but none of this paper's optimizations are (only inlining and

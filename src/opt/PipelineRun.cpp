@@ -7,50 +7,152 @@
 // then an iterate-to-fixpoint loop of folding, propagation and cleanup,
 // and finally assume-stripping and barrier elimination.
 //
+// Observability: when an Observer is attached or tracing is enabled, every
+// pass invocation is bracketed with IR snapshots and a steady-clock timer.
+// Pass wall time also accumulates into the process counter registry
+// ("opt.pass.<name>.us") so benches can attribute pipeline cost without
+// attaching an Observer (which would make the compile uncacheable). When
+// neither channel is on, the only added cost per pass is one relaxed
+// atomic load.
+//
 //===----------------------------------------------------------------------===//
 #include "opt/Pipeline.hpp"
 
+#include "support/Stats.hpp"
+#include "support/Trace.hpp"
+
+#include <chrono>
+#include <string>
+
 namespace codesign::opt {
 
+namespace {
+
+/// Brackets pass invocations with snapshots/timers when anyone is watching.
+class PassRunner {
+public:
+  PassRunner(ir::Module &M, const OptOptions &Options)
+      : M(M), Options(Options),
+        Tracing(trace::Tracer::global().enabled()),
+        Instrumented(Tracing || static_cast<bool>(Options.Obs.OnPass)) {}
+
+  template <typename Fn>
+  bool run(const char *Pass, const char *Phase, int Round, Fn &&Body) {
+    if (!Instrumented)
+      return Body();
+
+    PassExecution Exec;
+    Exec.Pass = Pass;
+    Exec.Phase = Phase;
+    Exec.Round = Round;
+    Exec.Before = IRSnapshot::of(M);
+    const auto Start = std::chrono::steady_clock::now();
+    Exec.Changed = Body();
+    const auto End = std::chrono::steady_clock::now();
+    Exec.Micros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+            .count());
+    Exec.After = IRSnapshot::of(M);
+
+    Counters::global().add(std::string("opt.pass.") + Pass + ".us",
+                           Exec.Micros);
+    if (Exec.Changed)
+      Counters::global().add(std::string("opt.pass.") + Pass + ".changed");
+    if (Tracing)
+      trace::Tracer::global().span(
+          "opt", Pass, Exec.Micros,
+          {{"round", static_cast<std::uint64_t>(Round < 0 ? 0 : Round)},
+           {"changed", Exec.Changed ? 1u : 0u},
+           {"insts_before", Exec.Before.Instructions},
+           {"insts_after", Exec.After.Instructions},
+           {"globals_before", Exec.Before.Globals},
+           {"globals_after", Exec.After.Globals},
+           {"barriers_before", Exec.Before.Barriers},
+           {"barriers_after", Exec.After.Barriers}});
+    if (Options.Obs.OnPass)
+      Options.Obs.OnPass(Exec);
+    return Exec.Changed;
+  }
+
+private:
+  ir::Module &M;
+  const OptOptions &Options;
+  bool Tracing;
+  bool Instrumented;
+};
+
+} // namespace
+
 bool runPipeline(ir::Module &M, const OptOptions &Options) {
+  PassRunner R(M, Options);
+  const bool Summarize = static_cast<bool>(Options.Obs.OnPipelineEnd) ||
+                         trace::Tracer::global().enabled();
+  PipelineSummary Summary;
+  std::chrono::steady_clock::time_point PipelineStart;
+  if (Summarize) {
+    Summary.Before = IRSnapshot::of(M);
+    PipelineStart = std::chrono::steady_clock::now();
+  }
+
   bool Changed = false;
 
   // Structural phase (pre-inlining).
-  Changed |= runSPMDization(M, Options);
-  Changed |= runGlobalizationElim(M, Options, /*AllowTeamScratch=*/true);
+  Changed |= R.run("spmdization", "structural", -1,
+                   [&] { return runSPMDization(M, Options); });
+  Changed |= R.run("globalization-elim", "structural", -1, [&] {
+    return runGlobalizationElim(M, Options, /*AllowTeamScratch=*/true);
+  });
 
   if (Options.EnableInlining)
-    Changed |= runInliner(M);
+    Changed |=
+        R.run("inliner", "structural", -1, [&] { return runInliner(M); });
 
   // Fixpoint phase.
+  int FixpointRounds = 0;
   for (int Round = 0; Round < Options.MaxFixpointRounds; ++Round) {
+    ++FixpointRounds;
     bool RoundChanged = false;
-    RoundChanged |= runConstantFold(M);
-    RoundChanged |= runSimplifyCFG(M);
-    RoundChanged |= runLoadForwarding(M, Options);
-    RoundChanged |= runDeadStoreElim(M, Options);
-    RoundChanged |= runGlobalizationElim(M, Options,
-                                         /*AllowTeamScratch=*/false);
-    RoundChanged |= runDCE(M);
+    RoundChanged |= R.run("constant-fold", "fixpoint", Round,
+                          [&] { return runConstantFold(M); });
+    RoundChanged |= R.run("simplify-cfg", "fixpoint", Round,
+                          [&] { return runSimplifyCFG(M); });
+    RoundChanged |= R.run("load-forwarding", "fixpoint", Round,
+                          [&] { return runLoadForwarding(M, Options); });
+    RoundChanged |= R.run("dead-store-elim", "fixpoint", Round,
+                          [&] { return runDeadStoreElim(M, Options); });
+    RoundChanged |= R.run("globalization-elim", "fixpoint", Round, [&] {
+      return runGlobalizationElim(M, Options, /*AllowTeamScratch=*/false);
+    });
+    RoundChanged |= R.run("dce", "fixpoint", Round, [&] { return runDCE(M); });
     if (Options.EnableInlining)
-      RoundChanged |= runInliner(M); // indirect calls promoted above
+      RoundChanged |= R.run("inliner", "fixpoint", Round,
+                            [&] { return runInliner(M); }); // indirect calls
+                                                            // promoted above
     Changed |= RoundChanged;
     if (!RoundChanged)
       break;
   }
+  if (Summarize)
+    Counters::global().add("opt.fixpoint.rounds",
+                           static_cast<std::uint64_t>(FixpointRounds));
 
   // Release builds strip the (now consumed) assumptions, which frees the
   // loads feeding them and, transitively, the runtime state they read.
   if (!Options.KeepAssumes) {
-    bool StripChanged = runStripAssumes(M);
+    bool StripChanged = R.run("strip-assumes", "strip-assumes", -1,
+                              [&] { return runStripAssumes(M); });
     Changed |= StripChanged;
     if (StripChanged) {
       for (int Round = 0; Round < 4; ++Round) {
         bool RoundChanged = false;
-        RoundChanged |= runConstantFold(M);
-        RoundChanged |= runSimplifyCFG(M);
-        RoundChanged |= runDeadStoreElim(M, Options);
-        RoundChanged |= runDCE(M);
+        RoundChanged |= R.run("constant-fold", "strip-assumes", Round,
+                              [&] { return runConstantFold(M); });
+        RoundChanged |= R.run("simplify-cfg", "strip-assumes", Round,
+                              [&] { return runSimplifyCFG(M); });
+        RoundChanged |= R.run("dead-store-elim", "strip-assumes", Round,
+                              [&] { return runDeadStoreElim(M, Options); });
+        RoundChanged |=
+            R.run("dce", "strip-assumes", Round, [&] { return runDCE(M); });
         Changed |= RoundChanged;
         if (!RoundChanged)
           break;
@@ -64,12 +166,37 @@ bool runPipeline(ir::Module &M, const OptOptions &Options) {
   // entry/exit), exposing more eliminations.
   for (int Round = 0; Round < 4; ++Round) {
     bool RoundChanged = false;
-    RoundChanged |= runBarrierElim(M, Options);
-    RoundChanged |= runSimplifyCFG(M);
-    RoundChanged |= runDCE(M);
+    RoundChanged |= R.run("barrier-elim", "barrier-cleanup", Round,
+                          [&] { return runBarrierElim(M, Options); });
+    RoundChanged |= R.run("simplify-cfg", "barrier-cleanup", Round,
+                          [&] { return runSimplifyCFG(M); });
+    RoundChanged |=
+        R.run("dce", "barrier-cleanup", Round, [&] { return runDCE(M); });
     Changed |= RoundChanged;
     if (!RoundChanged)
       break;
+  }
+
+  if (Summarize) {
+    const auto End = std::chrono::steady_clock::now();
+    Summary.Changed = Changed;
+    Summary.FixpointRounds = FixpointRounds;
+    Summary.TotalMicros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(End -
+                                                              PipelineStart)
+            .count());
+    Summary.After = IRSnapshot::of(M);
+    if (trace::Tracer::global().enabled())
+      trace::Tracer::global().span(
+          "opt", "pipeline", Summary.TotalMicros,
+          {{"fixpoint_rounds", static_cast<std::uint64_t>(FixpointRounds)},
+           {"changed", Changed ? 1u : 0u},
+           {"insts_before", Summary.Before.Instructions},
+           {"insts_after", Summary.After.Instructions},
+           {"barriers_before", Summary.Before.Barriers},
+           {"barriers_after", Summary.After.Barriers}});
+    if (Options.Obs.OnPipelineEnd)
+      Options.Obs.OnPipelineEnd(Summary);
   }
   return Changed;
 }

@@ -248,23 +248,21 @@ bool runSPMDization(Module &M, const OptOptions &Options) {
       continue;
     auto Shape = matchShape(*F);
     if (!Shape) {
-      if (F->execMode() == ExecMode::Generic && Options.Remarks)
-        Options.Remarks->add(RemarkKind::Missed, "spmdization", F->name(),
-                             "generic-mode kernel does not match the "
-                             "fork-join shape");
+      if (F->execMode() == ExecMode::Generic)
+        Options.remark(RemarkKind::Missed, "spmdization", F->name(),
+                       "generic-mode kernel does not match the "
+                       "fork-join shape");
       continue;
     }
     if (auto Blocker = findBlocker(*Shape)) {
-      if (Options.Remarks)
-        Options.Remarks->add(RemarkKind::Missed, "spmdization", F->name(),
-                             *Blocker + "; kernel keeps the state machine "
-                                        "and data-sharing overhead");
+      Options.remark(RemarkKind::Missed, "spmdization", F->name(),
+                     *Blocker + "; kernel keeps the state machine "
+                                "and data-sharing overhead");
       continue;
     }
     transform(*F, *Shape, M);
-    if (Options.Remarks)
-      Options.Remarks->add(RemarkKind::Passed, "spmdization", F->name(),
-                           "kernel converted to SPMD mode");
+    Options.remark(RemarkKind::Passed, "spmdization", F->name(),
+                   "kernel converted to SPMD mode");
     Changed = true;
   }
 

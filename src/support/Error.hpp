@@ -101,6 +101,35 @@ private:
   Error Err;
 };
 
+/// Expected<void> reports success/failure for operations with no result
+/// value. Construct from Error for failure; default-construct (or use
+/// success()) for success.
+template <> class Expected<void> {
+public:
+  /// Construct a success value.
+  Expected() = default;
+  /// Construct from an error (failure).
+  Expected(Error E) : Err(std::move(E)), Failed(true) {}
+
+  /// Named success constructor, for readability at return sites.
+  static Expected<void> success() { return Expected<void>(); }
+
+  /// True when the operation succeeded.
+  [[nodiscard]] bool hasValue() const { return !Failed; }
+  /// True when the operation succeeded (bool conversion for `if (Result)`).
+  explicit operator bool() const { return hasValue(); }
+
+  /// Access the contained error. Precondition: !hasValue().
+  [[nodiscard]] const Error &error() const {
+    CODESIGN_ASSERT(!hasValue(), "Expected<void>::error() on success state");
+    return Err;
+  }
+
+private:
+  Error Err;
+  bool Failed = false;
+};
+
 /// Build an Error from printf-less concatenation of parts; convenience for
 /// the common `return makeError("bad thing: ", Name)` pattern.
 template <typename... Parts> Error makeError(Parts &&...P) {

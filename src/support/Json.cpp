@@ -1,0 +1,419 @@
+#include "support/Json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace codesign::json {
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+Value &Value::set(std::string_view Key, Value V) {
+  CODESIGN_ASSERT(isObject(), "json: set on non-object");
+  for (auto &[K2, V2] : Membs)
+    if (K2 == Key) {
+      V2 = std::move(V);
+      return V2;
+    }
+  Membs.emplace_back(std::string(Key), std::move(V));
+  return Membs.back().second;
+}
+
+const Value *Value::find(std::string_view Key) const {
+  if (!isObject())
+    return nullptr;
+  for (const auto &[K2, V2] : Membs)
+    if (K2 == Key)
+      return &V2;
+  return nullptr;
+}
+
+std::string escape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+void appendNumber(std::string &Out, double D) {
+  if (!std::isfinite(D)) {
+    // JSON has no inf/nan; null is the conventional stand-in.
+    Out += "null";
+    return;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  Out += Buf;
+}
+
+void appendIndent(std::string &Out, int Indent, int Depth) {
+  Out += '\n';
+  Out.append(static_cast<std::size_t>(Indent) * Depth, ' ');
+}
+
+} // namespace
+
+void Value::dumpTo(std::string &Out, int Indent, int Depth) const {
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    return;
+  case Kind::Bool:
+    Out += BoolV ? "true" : "false";
+    return;
+  case Kind::Number:
+    if (HasInt) {
+      if (IntIsUnsigned)
+        Out += std::to_string(static_cast<std::uint64_t>(IntV));
+      else
+        Out += std::to_string(IntV);
+    } else {
+      appendNumber(Out, NumV);
+    }
+    return;
+  case Kind::String:
+    Out += '"';
+    Out += escape(StrV);
+    Out += '"';
+    return;
+  case Kind::Array: {
+    if (Elems.empty()) {
+      Out += "[]";
+      return;
+    }
+    Out += '[';
+    for (std::size_t I = 0; I < Elems.size(); ++I) {
+      if (I)
+        Out += ',';
+      if (Indent >= 0)
+        appendIndent(Out, Indent, Depth + 1);
+      Elems[I].dumpTo(Out, Indent, Depth + 1);
+    }
+    if (Indent >= 0)
+      appendIndent(Out, Indent, Depth);
+    Out += ']';
+    return;
+  }
+  case Kind::Object: {
+    if (Membs.empty()) {
+      Out += "{}";
+      return;
+    }
+    Out += '{';
+    for (std::size_t I = 0; I < Membs.size(); ++I) {
+      if (I)
+        Out += ',';
+      if (Indent >= 0)
+        appendIndent(Out, Indent, Depth + 1);
+      Out += '"';
+      Out += escape(Membs[I].first);
+      Out += Indent >= 0 ? "\": " : "\":";
+      Membs[I].second.dumpTo(Out, Indent, Depth + 1);
+    }
+    if (Indent >= 0)
+      appendIndent(Out, Indent, Depth);
+    Out += '}';
+    return;
+  }
+  }
+}
+
+std::string Value::dump(int Indent) const {
+  std::string Out;
+  dumpTo(Out, Indent, 0);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  Expected<Value> run() {
+    auto V = parseValue();
+    if (!V)
+      return V;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return V;
+  }
+
+private:
+  Error fail(std::string_view Msg) const {
+    return makeError("json parse error at offset ", std::to_string(Pos), ": ",
+                     Msg);
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(std::string_view W) {
+    if (Text.substr(Pos, W.size()) == W) {
+      Pos += W.size();
+      return true;
+    }
+    return false;
+  }
+
+  Expected<Value> parseValue() {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    const char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"') {
+      auto S = parseString();
+      if (!S)
+        return S.error();
+      return Value(std::move(*S));
+    }
+    if (consumeWord("true"))
+      return Value(true);
+    if (consumeWord("false"))
+      return Value(false);
+    if (consumeWord("null"))
+      return Value(nullptr);
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return parseNumber();
+    return fail("unexpected character");
+  }
+
+  Expected<Value> parseObject() {
+    ++Pos; // '{'
+    Value Obj = Value::object();
+    skipWs();
+    if (consume('}'))
+      return Obj;
+    for (;;) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key string");
+      auto Key = parseString();
+      if (!Key)
+        return Key.error();
+      skipWs();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      auto V = parseValue();
+      if (!V)
+        return V;
+      Obj.set(*Key, std::move(*V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return Obj;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Expected<Value> parseArray() {
+    ++Pos; // '['
+    Value Arr = Value::array();
+    skipWs();
+    if (consume(']'))
+      return Arr;
+    for (;;) {
+      auto V = parseValue();
+      if (!V)
+        return V;
+      Arr.push(std::move(*V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return Arr;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Expected<std::string> parseString() {
+    ++Pos; // '"'
+    std::string Out;
+    while (Pos < Text.size()) {
+      const char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      const char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          const char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad hex digit in \\u escape");
+        }
+        // UTF-8 encode (BMP only; the reports are ASCII in practice).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Expected<Value> parseNumber() {
+    const std::size_t Start = Pos;
+    if (consume('-')) {
+    }
+    while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    bool IsInteger = true;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      IsInteger = false;
+      ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      IsInteger = false;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    const std::string_view Tok = Text.substr(Start, Pos - Start);
+    if (Tok.empty() || Tok == "-")
+      return fail("malformed number");
+    if (IsInteger) {
+      // Preserve 64-bit exactness: unsigned first (cycle counters), then
+      // signed, then fall back to double.
+      if (Tok[0] != '-') {
+        std::uint64_t U = 0;
+        auto [P, Ec] = std::from_chars(Tok.data(), Tok.data() + Tok.size(), U);
+        if (Ec == std::errc() && P == Tok.data() + Tok.size())
+          return Value(U);
+      } else {
+        std::int64_t I = 0;
+        auto [P, Ec] = std::from_chars(Tok.data(), Tok.data() + Tok.size(), I);
+        if (Ec == std::errc() && P == Tok.data() + Tok.size())
+          return Value(I);
+      }
+    }
+    double D = 0;
+    auto [P, Ec] = std::from_chars(Tok.data(), Tok.data() + Tok.size(), D);
+    if (Ec != std::errc() || P != Tok.data() + Tok.size())
+      return fail("malformed number");
+    return Value(D);
+  }
+
+  std::string_view Text;
+  std::size_t Pos = 0;
+};
+
+} // namespace
+
+Expected<Value> parse(std::string_view Text) { return Parser(Text).run(); }
+
+} // namespace codesign::json

@@ -1,0 +1,145 @@
+//===- support/Json.hpp - Minimal JSON value model, writer and parser ------===//
+//
+// The observability layer's interchange format: the tracer emits JSON-lines
+// events, every bench writes a machine-readable BENCH_<name>.json report,
+// and the bench-smoke validator parses those reports back. One small
+// self-contained implementation serves all three so the repo needs no
+// external JSON dependency.
+//
+// Numbers preserve 64-bit integer exactness: values stored via Value(u64)
+// or parsed from integer literals round-trip bit-exactly (cycle counts
+// exceed double's 53-bit mantissa on long runs).
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/Error.hpp"
+
+namespace codesign::json {
+
+/// A JSON value: null, bool, number, string, array or object. Objects keep
+/// insertion order so reports read in the order benches build them.
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+  Value(std::nullptr_t) {}
+  Value(bool B) : K(Kind::Bool), BoolV(B) {}
+  Value(double D) : K(Kind::Number), NumV(D) {}
+  Value(std::int64_t I)
+      : K(Kind::Number), NumV(static_cast<double>(I)), IntV(I), HasInt(true) {}
+  Value(std::uint64_t U)
+      : K(Kind::Number), NumV(static_cast<double>(U)),
+        IntV(static_cast<std::int64_t>(U)), HasInt(true), IntIsUnsigned(true) {}
+  Value(int I) : Value(static_cast<std::int64_t>(I)) {}
+  Value(unsigned U) : Value(static_cast<std::uint64_t>(U)) {}
+  Value(std::string S) : K(Kind::String), StrV(std::move(S)) {}
+  Value(std::string_view S) : K(Kind::String), StrV(S) {}
+  Value(const char *S) : K(Kind::String), StrV(S) {}
+
+  /// Factory helpers for the two container kinds.
+  static Value object() {
+    Value V;
+    V.K = Kind::Object;
+    return V;
+  }
+  static Value array() {
+    Value V;
+    V.K = Kind::Array;
+    return V;
+  }
+
+  [[nodiscard]] Kind kind() const { return K; }
+  [[nodiscard]] bool isNull() const { return K == Kind::Null; }
+  [[nodiscard]] bool isBool() const { return K == Kind::Bool; }
+  [[nodiscard]] bool isNumber() const { return K == Kind::Number; }
+  [[nodiscard]] bool isString() const { return K == Kind::String; }
+  [[nodiscard]] bool isArray() const { return K == Kind::Array; }
+  [[nodiscard]] bool isObject() const { return K == Kind::Object; }
+
+  [[nodiscard]] bool asBool() const {
+    CODESIGN_ASSERT(isBool(), "json: asBool on non-bool");
+    return BoolV;
+  }
+  [[nodiscard]] double asDouble() const {
+    CODESIGN_ASSERT(isNumber(), "json: asDouble on non-number");
+    return NumV;
+  }
+  /// Exact integer payload when the value was an integer literal; falls
+  /// back to truncating the double otherwise.
+  [[nodiscard]] std::int64_t asInt() const {
+    CODESIGN_ASSERT(isNumber(), "json: asInt on non-number");
+    return HasInt ? IntV : static_cast<std::int64_t>(NumV);
+  }
+  [[nodiscard]] std::uint64_t asUInt() const {
+    return static_cast<std::uint64_t>(asInt());
+  }
+  [[nodiscard]] const std::string &asString() const {
+    CODESIGN_ASSERT(isString(), "json: asString on non-string");
+    return StrV;
+  }
+
+  // --- Array interface -----------------------------------------------------
+
+  /// Append an element (arrays only).
+  Value &push(Value V) {
+    CODESIGN_ASSERT(isArray(), "json: push on non-array");
+    Elems.push_back(std::move(V));
+    return Elems.back();
+  }
+  [[nodiscard]] std::size_t size() const { return Elems.size(); }
+  [[nodiscard]] const Value &at(std::size_t I) const {
+    CODESIGN_ASSERT(isArray() && I < Elems.size(), "json: at out of range");
+    return Elems[I];
+  }
+  [[nodiscard]] const std::vector<Value> &elements() const { return Elems; }
+
+  // --- Object interface ----------------------------------------------------
+
+  /// Set a member (objects only); replaces an existing key in place.
+  Value &set(std::string_view Key, Value V);
+  /// Member lookup; null when absent (objects only).
+  [[nodiscard]] const Value *find(std::string_view Key) const;
+  [[nodiscard]] bool has(std::string_view Key) const {
+    return find(Key) != nullptr;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>> &
+  members() const {
+    return Membs;
+  }
+
+  // --- Serialization -------------------------------------------------------
+
+  /// Render as compact JSON (Indent < 0) or pretty-printed with the given
+  /// indent width.
+  [[nodiscard]] std::string dump(int Indent = -1) const;
+
+private:
+  void dumpTo(std::string &Out, int Indent, int Depth) const;
+
+  Kind K = Kind::Null;
+  bool BoolV = false;
+  double NumV = 0.0;
+  std::int64_t IntV = 0;
+  bool HasInt = false;
+  bool IntIsUnsigned = false;
+  std::string StrV;
+  std::vector<Value> Elems;
+  std::vector<std::pair<std::string, Value>> Membs;
+};
+
+/// Escape a string for embedding in a JSON document (no surrounding quotes).
+std::string escape(std::string_view S);
+
+/// Parse one JSON document. Trailing non-whitespace is an error.
+Expected<Value> parse(std::string_view Text);
+
+} // namespace codesign::json

@@ -1,0 +1,114 @@
+#include "support/Trace.hpp"
+
+#include "support/Json.hpp"
+
+namespace codesign::trace {
+
+Tracer &Tracer::global() {
+  static Tracer T;
+  return T;
+}
+
+void Tracer::record(Event E) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  E.Seq = NextSeq++;
+  Buffer.push_back(std::move(E));
+}
+
+void Tracer::instant(
+    std::string_view Category, std::string_view Name,
+    std::vector<std::pair<std::string, std::uint64_t>> Fields) {
+  if (!enabled())
+    return;
+  Event E;
+  E.Kind = EventKind::Instant;
+  E.Category = Category;
+  E.Name = Name;
+  E.Fields = std::move(Fields);
+  record(std::move(E));
+}
+
+void Tracer::span(std::string_view Category, std::string_view Name,
+                  std::uint64_t DurationMicros,
+                  std::vector<std::pair<std::string, std::uint64_t>> Fields,
+                  bool ForceRecord) {
+  if (!ForceRecord && !enabled())
+    return;
+  Event E;
+  E.Kind = EventKind::Span;
+  E.Category = Category;
+  E.Name = Name;
+  E.DurationMicros = DurationMicros;
+  E.Fields = std::move(Fields);
+  record(std::move(E));
+}
+
+void Tracer::counter(std::string_view Category, std::string_view Name,
+                     std::uint64_t Value) {
+  if (!enabled())
+    return;
+  Event E;
+  E.Kind = EventKind::Counter;
+  E.Category = Category;
+  E.Name = Name;
+  E.Fields.emplace_back("value", Value);
+  record(std::move(E));
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Buffer.size();
+}
+
+std::vector<Event> Tracer::events() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Buffer;
+}
+
+namespace {
+
+const char *kindName(EventKind K) {
+  switch (K) {
+  case EventKind::Span:
+    return "span";
+  case EventKind::Instant:
+    return "instant";
+  case EventKind::Counter:
+    return "counter";
+  }
+  return "unknown";
+}
+
+} // namespace
+
+void Tracer::drain(std::ostream &OS) {
+  std::vector<Event> Drained;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Drained.swap(Buffer);
+  }
+  for (const Event &E : Drained) {
+    json::Value Obj = json::Value::object();
+    Obj.set("seq", E.Seq);
+    Obj.set("kind", kindName(E.Kind));
+    Obj.set("cat", E.Category);
+    Obj.set("name", E.Name);
+    if (E.Kind == EventKind::Span)
+      Obj.set("dur_us", E.DurationMicros);
+    if (!E.Fields.empty()) {
+      json::Value Fields = json::Value::object();
+      for (const auto &[K2, V2] : E.Fields)
+        Fields.set(K2, V2);
+      Obj.set("fields", std::move(Fields));
+    }
+    OS << Obj.dump() << '\n';
+  }
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Buffer.clear();
+  NextSeq = 0;
+}
+
+} // namespace codesign::trace

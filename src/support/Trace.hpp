@@ -1,0 +1,138 @@
+//===- support/Trace.hpp - Structured-event tracer -------------------------===//
+//
+// Lightweight structured tracing for the whole toolchain, mirroring the
+// paper's zero-cost debug facility (Section III-G): when tracing is off the
+// only cost on any instrumented path is one relaxed atomic load, so the
+// instrumentation can stay compiled into release binaries. When enabled,
+// subsystems record spans (scoped wall-time intervals with u64 payload
+// fields), instants and counter samples; the buffer drains as JSON lines
+// (one compact object per event) for offline tooling.
+//
+// Events carry a monotonically increasing sequence number instead of an
+// absolute timestamp so two traces of the same workload diff cleanly;
+// durations are measured with the steady clock.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace codesign::trace {
+
+/// What one trace event records.
+enum class EventKind : std::uint8_t {
+  Span,    ///< A scoped interval; DurationMicros is meaningful.
+  Instant, ///< A point event.
+  Counter, ///< A sampled counter value carried in the fields.
+};
+
+/// One recorded event. Fields are (name, u64) pairs — every quantity the
+/// toolchain traces (cycles, instruction counts, pass deltas, byte traffic)
+/// is an unsigned integer, which also keeps the JSON exact.
+struct Event {
+  EventKind Kind = EventKind::Instant;
+  std::string Category; ///< Subsystem, e.g. "opt", "frontend", "vgpu".
+  std::string Name;     ///< Event name, e.g. pass or phase name.
+  std::uint64_t Seq = 0;
+  std::uint64_t DurationMicros = 0; ///< Spans only.
+  std::vector<std::pair<std::string, std::uint64_t>> Fields;
+};
+
+/// Process-wide trace recorder. Disabled by default; every record call is
+/// gated on one relaxed atomic load so instrumented hot paths cost nothing
+/// measurable when tracing is off.
+class Tracer {
+public:
+  /// The process-wide instance.
+  static Tracer &global();
+
+  /// Hot-path gate. Relaxed is sufficient: a missed event near the moment
+  /// of enabling is acceptable, a lock or fence on every pass is not.
+  [[nodiscard]] bool enabled() const {
+    return Enabled.load(std::memory_order_relaxed);
+  }
+  /// Turn recording on or off.
+  void setEnabled(bool On) { Enabled.store(On, std::memory_order_relaxed); }
+
+  /// Record a point event.
+  void instant(std::string_view Category, std::string_view Name,
+               std::vector<std::pair<std::string, std::uint64_t>> Fields = {});
+  /// Record a completed span of the given duration. ForceRecord bypasses
+  /// the enabled() gate: a ScopedSpan that was open when tracing got
+  /// disabled must still land in the buffer.
+  void span(std::string_view Category, std::string_view Name,
+            std::uint64_t DurationMicros,
+            std::vector<std::pair<std::string, std::uint64_t>> Fields = {},
+            bool ForceRecord = false);
+  /// Record a counter sample.
+  void counter(std::string_view Category, std::string_view Name,
+               std::uint64_t Value);
+
+  /// Number of buffered events.
+  [[nodiscard]] std::size_t size() const;
+  /// Copy of the buffered events, in record order.
+  [[nodiscard]] std::vector<Event> events() const;
+  /// Write every buffered event as one compact JSON object per line and
+  /// clear the buffer.
+  void drain(std::ostream &OS);
+  /// Discard buffered events and reset the sequence number.
+  void clear();
+
+private:
+  void record(Event E);
+
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex Mutex;
+  std::uint64_t NextSeq = 0;
+  std::vector<Event> Buffer;
+};
+
+/// RAII span: measures steady-clock wall time from construction to
+/// destruction and records a Span event iff tracing was enabled at
+/// construction. Extra fields can be attached while the span is open.
+class ScopedSpan {
+public:
+  ScopedSpan(std::string_view Category, std::string_view Name)
+      : Active(Tracer::global().enabled()), Category(Category), Name(Name) {
+    if (Active)
+      Start = std::chrono::steady_clock::now();
+  }
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+  ~ScopedSpan() {
+    if (!Active)
+      return;
+    const auto End = std::chrono::steady_clock::now();
+    const auto Micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+            .count();
+    Tracer::global().span(Category, Name,
+                          static_cast<std::uint64_t>(Micros),
+                          std::move(Fields), /*ForceRecord=*/true);
+  }
+
+  /// Attach a (name, value) payload field to the span being measured.
+  void field(std::string_view K, std::uint64_t V) {
+    if (Active)
+      Fields.emplace_back(std::string(K), V);
+  }
+  /// Whether this span is actually recording.
+  [[nodiscard]] bool active() const { return Active; }
+
+private:
+  bool Active;
+  std::string Category;
+  std::string Name;
+  std::chrono::steady_clock::time_point Start;
+  std::vector<std::pair<std::string, std::uint64_t>> Fields;
+};
+
+} // namespace codesign::trace

@@ -56,6 +56,10 @@ struct DeviceConfig {
   /// aligned, assertions checked) exactly like the paper's debug builds
   /// (Section III-G).
   bool DebugChecks = true;
+  /// Collect a LaunchProfile (op-class histogram, byte traffic, barrier
+  /// waits, team imbalance) for every launch. Off by default: profiling
+  /// adds per-instruction work in the interpreter.
+  bool CollectProfile = false;
   CostModel Costs;
 };
 

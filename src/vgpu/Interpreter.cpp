@@ -253,10 +253,11 @@ public:
                const NativeRegistry &Registry, const ModuleImage &Image,
                std::uint32_t TeamId, std::uint32_t NumTeams,
                std::uint32_t NumThreads, const Function *Kernel,
-               std::span<const std::uint64_t> Args, LaunchMetrics &Metrics)
+               std::span<const std::uint64_t> Args, LaunchMetrics &Metrics,
+               LaunchProfile *Profile = nullptr)
       : Config(Config), GM(GM), Registry(Registry), Image(Image),
         TeamId(TeamId), NumTeams(NumTeams), NumThreads(NumThreads),
-        Metrics(Metrics) {
+        Metrics(Metrics), Profile(Profile) {
     SharedArena.resize(
         std::max<std::uint64_t>(Image.sharedStaticSize(), 1), 0);
     Image.initTeamShared(SharedArena);
@@ -335,6 +336,10 @@ private:
       }
     }
     Metrics.Barriers++;
+    if (Profile)
+      for (const ThreadState &T : Threads)
+        if (T.Status == ThreadStatus::AtBarrier)
+          Profile->BarrierWaitCycles += MaxArrival - T.Cycles;
     const std::uint64_t Release = MaxArrival + Config.Costs.BarrierCost;
     for (ThreadState &T : Threads) {
       if (T.Status != ThreadStatus::AtBarrier)
@@ -425,17 +430,24 @@ private:
     CODESIGN_UNREACHABLE("bad memory space");
   }
 
-  void chargeAccess(ThreadState &T, MemSpace S, bool IsStore, bool IsAtomic) {
+  void chargeAccess(ThreadState &T, MemSpace S, bool IsStore, bool IsAtomic,
+                    unsigned SizeBytes) {
     const CostModel &C = Config.Costs;
     std::uint64_t Cost = 0;
     switch (S) {
     case MemSpace::Global:
       Cost = IsAtomic ? C.AtomicGlobal : C.GlobalAccess;
       (IsStore ? Metrics.GlobalStores : Metrics.GlobalLoads)++;
+      if (Profile)
+        (IsStore ? Profile->GlobalBytesWritten : Profile->GlobalBytesRead) +=
+            SizeBytes;
       break;
     case MemSpace::Shared:
       Cost = IsAtomic ? C.AtomicShared : C.SharedAccess;
       (IsStore ? Metrics.SharedStores : Metrics.SharedLoads)++;
+      if (Profile)
+        (IsStore ? Profile->SharedBytesWritten : Profile->SharedBytesRead) +=
+            SizeBytes;
       break;
     case MemSpace::Local:
       Cost = C.LocalAccess;
@@ -456,7 +468,7 @@ private:
       return 0;
     std::uint64_t Raw = 0;
     std::memcpy(&Raw, P, Size);
-    chargeAccess(T, A.space(), /*IsStore=*/false, /*IsAtomic=*/false);
+    chargeAccess(T, A.space(), /*IsStore=*/false, /*IsAtomic=*/false, Size);
     if (Ty.isInteger())
       return canonInt(Ty, Raw);
     return Raw;
@@ -468,7 +480,7 @@ private:
     if (!P)
       return;
     std::memcpy(P, &Bits, Size);
-    chargeAccess(T, A.space(), /*IsStore=*/true, /*IsAtomic=*/false);
+    chargeAccess(T, A.space(), /*IsStore=*/true, /*IsAtomic=*/false, Size);
   }
 
   void trap(ThreadState &T, std::string Msg) {
@@ -497,7 +509,7 @@ private:
         return 0;
       std::uint64_t Raw = 0;
       std::memcpy(&Raw, P, Size);
-      Exec.chargeAccess(T, A.space(), false, false);
+      Exec.chargeAccess(T, A.space(), false, false, Size);
       return Raw;
     }
     void storeBits(DeviceAddr A, std::uint64_t Bits, unsigned Size) override {
@@ -505,7 +517,7 @@ private:
       if (!P)
         return;
       std::memcpy(P, &Bits, Size);
-      Exec.chargeAccess(T, A.space(), true, false);
+      Exec.chargeAccess(T, A.space(), true, false, Size);
     }
     void chargeCycles(std::uint64_t Cycles) override {
       T.Cycles += Cycles;
@@ -561,10 +573,82 @@ private:
   std::uint32_t NumTeams;
   std::uint32_t NumThreads;
   LaunchMetrics &Metrics;
+  LaunchProfile *Profile = nullptr;
   std::vector<std::uint8_t> SharedArena;
   std::vector<ThreadState> Threads;
   std::uint64_t TeamCycles = 0;
 };
+
+/// Coarse classification for the launch profile's op-class histogram.
+OpClass classifyOpcode(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+  case Opcode::ICmp:
+  case Opcode::Select:
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::Trunc:
+  case Opcode::PtrToInt:
+  case Opcode::IntToPtr:
+    return OpClass::IntAlu;
+  case Opcode::Mul:
+  case Opcode::SDiv:
+  case Opcode::UDiv:
+  case Opcode::SRem:
+  case Opcode::URem:
+    return OpClass::IntMulDiv;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::FCmp:
+  case Opcode::SIToFP:
+  case Opcode::FPToSI:
+  case Opcode::FPCast:
+    return OpClass::Float;
+  case Opcode::Alloca:
+  case Opcode::Load:
+  case Opcode::Store:
+  case Opcode::Gep:
+  case Opcode::Malloc:
+  case Opcode::Free:
+    return OpClass::Memory;
+  case Opcode::AtomicRMW:
+  case Opcode::CmpXchg:
+    return OpClass::Atomic;
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+  case Opcode::Unreachable:
+  case Opcode::Phi:
+    return OpClass::ControlFlow;
+  case Opcode::Call:
+    return OpClass::Call;
+  case Opcode::ThreadId:
+  case Opcode::BlockId:
+  case Opcode::BlockDim:
+  case Opcode::GridDim:
+  case Opcode::WarpSize:
+    return OpClass::Intrinsic;
+  case Opcode::Barrier:
+  case Opcode::AlignedBarrier:
+    return OpClass::Sync;
+  case Opcode::Assume:
+  case Opcode::AssertFail:
+  case Opcode::Trap:
+    return OpClass::Meta;
+  case Opcode::NativeOp:
+    return OpClass::Native;
+  }
+  CODESIGN_UNREACHABLE("unknown opcode");
+}
 
 void TeamExecutor::stepThread(ThreadState &T) {
   const CostModel &C = Config.Costs;
@@ -587,6 +671,9 @@ void TeamExecutor::stepThread(ThreadState &T) {
       return;
     }
     Metrics.DynamicInstructions++;
+    if (Profile)
+      Profile->OpCounts[static_cast<std::size_t>(classifyOpcode(
+          I->opcode()))]++;
 
     auto opI = [&](unsigned Idx) { return operandValue(I->operand(Idx), F); };
 
@@ -914,7 +1001,7 @@ void TeamExecutor::stepThread(ThreadState &T) {
         std::memcpy(P, &NewBits, Size);
       }
       const std::uint64_t Old = Ty.isInteger() ? canonInt(Ty, Raw) : Raw;
-      chargeAccess(T, A.space(), /*IsStore=*/true, /*IsAtomic=*/true);
+      chargeAccess(T, A.space(), /*IsStore=*/true, /*IsAtomic=*/true, Size);
       setResult(I, F, Old);
       break;
     }
@@ -940,7 +1027,7 @@ void TeamExecutor::stepThread(ThreadState &T) {
         }
       }
       const std::uint64_t Old = Ty.isInteger() ? canonInt(Ty, Raw) : Raw;
-      chargeAccess(T, A.space(), /*IsStore=*/true, /*IsAtomic=*/true);
+      chargeAccess(T, A.space(), /*IsStore=*/true, /*IsAtomic=*/true, Size);
       setResult(I, F, Old);
       break;
     }
@@ -1176,6 +1263,7 @@ LaunchResult KernelLauncher::launch(const ModuleImage &Image,
     bool Ran = false;
     std::optional<std::string> Err;
     LaunchMetrics Metrics;
+    LaunchProfile Profile;
     std::uint64_t Cycles = 0;
   };
   std::vector<TeamOutcome> Outcomes(NumTeams);
@@ -1183,7 +1271,8 @@ LaunchResult KernelLauncher::launch(const ModuleImage &Image,
     TeamOutcome &Out = Outcomes[Team];
     TeamExecutor Exec(Config, GM, Registry, Image,
                       static_cast<std::uint32_t>(Team), NumTeams, NumThreads,
-                      Kernel, Args, Out.Metrics);
+                      Kernel, Args, Out.Metrics,
+                      Config.CollectProfile ? &Out.Profile : nullptr);
     Out.Err = Exec.run();
     Out.Cycles = Exec.teamCycles();
     Out.Ran = true;
@@ -1214,6 +1303,11 @@ LaunchResult KernelLauncher::launch(const ModuleImage &Image,
       return Result;
     }
     Result.Metrics.accumulate(Out.Metrics);
+    if (Config.CollectProfile) {
+      Result.Profile.Collected = true;
+      Result.Profile.accumulate(Out.Profile);
+      Result.Profile.addTeam(Out.Cycles);
+    }
     PerSM[Team % Config.NumSMs].push_back(Out.Cycles);
   }
   // Wall time per SM: its teams run in waves of `Occupancy`.

@@ -93,6 +93,7 @@ struct LaunchResult {
   bool Ok = false;
   std::string Error;      ///< populated when !Ok (trap, deadlock, assert)
   LaunchMetrics Metrics;  ///< populated when Ok
+  LaunchProfile Profile;  ///< populated when Ok and DeviceConfig::CollectProfile
 };
 
 /// Launches kernels from a ModuleImage onto the virtual device. Teams are

@@ -1,0 +1,33 @@
+#include "vgpu/Metrics.hpp"
+
+namespace codesign::vgpu {
+
+const char *opClassName(OpClass C) {
+  switch (C) {
+  case OpClass::IntAlu:
+    return "int_alu";
+  case OpClass::IntMulDiv:
+    return "int_muldiv";
+  case OpClass::Float:
+    return "float";
+  case OpClass::Memory:
+    return "memory";
+  case OpClass::Atomic:
+    return "atomic";
+  case OpClass::ControlFlow:
+    return "control_flow";
+  case OpClass::Call:
+    return "call";
+  case OpClass::Intrinsic:
+    return "intrinsic";
+  case OpClass::Sync:
+    return "sync";
+  case OpClass::Meta:
+    return "meta";
+  case OpClass::Native:
+    return "native";
+  }
+  return "unknown";
+}
+
+} // namespace codesign::vgpu

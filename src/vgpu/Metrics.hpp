@@ -8,7 +8,9 @@
 //===----------------------------------------------------------------------===//
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <limits>
 
 namespace codesign::vgpu {
 
@@ -54,6 +56,82 @@ struct LaunchMetrics {
     DeviceMallocs += O.DeviceMallocs;
     if (O.SharedStackPeak > SharedStackPeak)
       SharedStackPeak = O.SharedStackPeak;
+  }
+};
+
+/// Coarse dynamic-instruction classification for kernel profiles (the
+/// Nsight-style "what did this kernel spend its instructions on" view).
+enum class OpClass : std::uint8_t {
+  IntAlu,      ///< add/sub/bitwise/shift/icmp/select/casts
+  IntMulDiv,   ///< integer multiply/divide/remainder
+  Float,       ///< floating-point arithmetic, compares, conversions
+  Memory,      ///< loads/stores/GEPs/allocas/heap ops
+  Atomic,      ///< atomic RMW / cmpxchg
+  ControlFlow, ///< branches, returns, phis
+  Call,        ///< non-inlined calls
+  Intrinsic,   ///< thread/team geometry reads
+  Sync,        ///< barriers
+  Meta,        ///< assumes, assertions, traps
+  Native,      ///< registered native loop bodies
+};
+inline constexpr std::size_t NumOpClasses = 11;
+
+/// Stable snake_case label for an op class (JSON report keys).
+const char *opClassName(OpClass C);
+
+/// Optional per-launch execution profile, collected when
+/// DeviceConfig::CollectProfile is set. Every field is derived from the
+/// deterministic interpreter model (no wall-clock input), and per-team
+/// shards merge in team-ID order, so a profile is bit-identical across
+/// HostThreads settings.
+struct LaunchProfile {
+  /// True when the launch actually collected a profile.
+  bool Collected = false;
+  /// Dynamic instructions by class.
+  std::array<std::uint64_t, NumOpClasses> OpCounts{};
+  /// Memory traffic in bytes (shared vs global is the paper's Figure 11
+  /// axis of explanation).
+  std::uint64_t GlobalBytesRead = 0;
+  std::uint64_t GlobalBytesWritten = 0;
+  std::uint64_t SharedBytesRead = 0;
+  std::uint64_t SharedBytesWritten = 0;
+  /// Modeled cycles threads spent blocked at barrier rendezvous, summed
+  /// over waiting threads (arrival-to-release, excluding the barrier cost
+  /// itself).
+  std::uint64_t BarrierWaitCycles = 0;
+  /// Per-team imbalance: distribution of team cycle totals.
+  std::uint32_t Teams = 0;
+  std::uint64_t TeamCyclesMin = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t TeamCyclesMax = 0;
+  std::uint64_t TeamCyclesTotal = 0;
+
+  /// Merge another team's shard (OpCounts/bytes/barrier waits).
+  void accumulate(const LaunchProfile &O) {
+    for (std::size_t I = 0; I < NumOpClasses; ++I)
+      OpCounts[I] += O.OpCounts[I];
+    GlobalBytesRead += O.GlobalBytesRead;
+    GlobalBytesWritten += O.GlobalBytesWritten;
+    SharedBytesRead += O.SharedBytesRead;
+    SharedBytesWritten += O.SharedBytesWritten;
+    BarrierWaitCycles += O.BarrierWaitCycles;
+  }
+  /// Record one team's cycle total (called during the team-ID-ordered
+  /// merge).
+  void addTeam(std::uint64_t Cycles) {
+    ++Teams;
+    if (Cycles < TeamCyclesMin)
+      TeamCyclesMin = Cycles;
+    if (Cycles > TeamCyclesMax)
+      TeamCyclesMax = Cycles;
+    TeamCyclesTotal += Cycles;
+  }
+  /// Max/mean team cycles (1.0 = perfectly balanced; 0 when empty).
+  [[nodiscard]] double teamImbalance() const {
+    if (Teams == 0 || TeamCyclesTotal == 0)
+      return 0.0;
+    const double Mean =
+        static_cast<double>(TeamCyclesTotal) / static_cast<double>(Teams);
+    return static_cast<double>(TeamCyclesMax) / Mean;
   }
 };
 

@@ -93,6 +93,9 @@ public:
   /// Toggle debug executions (runtime invariant verification).
   void setDebugChecks(bool On) { Config.DebugChecks = On; }
 
+  /// Toggle launch profiling (LaunchResult::Profile collection).
+  void setProfiling(bool On) { Config.CollectProfile = On; }
+
 private:
   DeviceConfig Config;
   GlobalMemory GM;

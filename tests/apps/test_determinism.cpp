@@ -21,7 +21,30 @@ namespace {
 vgpu::DeviceConfig withHostThreads(std::uint32_t N) {
   vgpu::DeviceConfig C;
   C.HostThreads = N;
+  C.CollectProfile = true;
   return C;
+}
+
+void expectIdenticalProfiles(const vgpu::LaunchProfile &A,
+                             const vgpu::LaunchProfile &B,
+                             const std::string &Build) {
+  ASSERT_TRUE(A.Collected) << Build;
+  ASSERT_TRUE(B.Collected) << Build;
+  for (std::size_t I = 0; I < vgpu::NumOpClasses; ++I)
+    EXPECT_EQ(A.OpCounts[I], B.OpCounts[I])
+        << Build << ": op class "
+        << vgpu::opClassName(static_cast<vgpu::OpClass>(I));
+  EXPECT_EQ(A.GlobalBytesRead, B.GlobalBytesRead) << Build;
+  EXPECT_EQ(A.GlobalBytesWritten, B.GlobalBytesWritten) << Build;
+  EXPECT_EQ(A.SharedBytesRead, B.SharedBytesRead) << Build;
+  EXPECT_EQ(A.SharedBytesWritten, B.SharedBytesWritten) << Build;
+  EXPECT_EQ(A.BarrierWaitCycles, B.BarrierWaitCycles) << Build;
+  EXPECT_EQ(A.Teams, B.Teams) << Build;
+  EXPECT_EQ(A.TeamCyclesMin, B.TeamCyclesMin) << Build;
+  EXPECT_EQ(A.TeamCyclesMax, B.TeamCyclesMax) << Build;
+  EXPECT_EQ(A.TeamCyclesTotal, B.TeamCyclesTotal) << Build;
+  EXPECT_EQ(A.teamImbalance(), B.teamImbalance())
+      << Build << ": imbalance must be bit-identical, not approximate";
 }
 
 void expectIdentical(const AppRunResult &S, const AppRunResult &P,
@@ -49,6 +72,12 @@ void expectIdentical(const AppRunResult &S, const AppRunResult &P,
   EXPECT_EQ(S.Stats.Registers, P.Stats.Registers) << Build;
   EXPECT_EQ(S.Stats.SharedMemBytes, P.Stats.SharedMemBytes) << Build;
   EXPECT_EQ(S.Stats.CodeSize, P.Stats.CodeSize) << Build;
+  expectIdenticalProfiles(S.Profile, P.Profile, Build);
+  // The op-class histogram partitions the dynamic instruction stream.
+  std::uint64_t OpSum = 0;
+  for (std::uint64_t C : S.Profile.OpCounts)
+    OpSum += C;
+  EXPECT_EQ(OpSum, A.DynamicInstructions) << Build;
 }
 
 /// Run AppT under every paper build config on a serial and a 4-thread

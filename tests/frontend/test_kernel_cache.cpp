@@ -87,12 +87,84 @@ TEST_F(KernelCacheTest, OptOutAndRemarksBypass) {
   // Remark collection must observe a real pipeline run, even with the
   // cache enabled.
   opt::RemarkCollector Remarks;
-  CompileOptions WithRemarks = CompileOptions::newRT();
-  WithRemarks.Opt.Remarks = &Remarks;
+  const CompileOptions WithRemarks = CompileOptions::newRT().withRemarks(Remarks);
   ASSERT_TRUE(compileKernel(spec(), WithRemarks, GPU.registry()).hasValue());
   EXPECT_EQ(KernelCache::global().hits(), 0u);
   EXPECT_EQ(KernelCache::global().misses(), 0u);
   EXPECT_EQ(KernelCache::global().size(), 0u);
+}
+
+TEST_F(KernelCacheTest, ObserverCompilesBypass) {
+  // An attached pass observer must see a real pipeline run each time: no
+  // cache insert, no hit, and the callback fires on the repeat compile.
+  int PassCount = 0;
+  opt::Observer Obs;
+  Obs.OnPass = [&](const opt::PassExecution &) { ++PassCount; };
+  const CompileOptions Observed =
+      CompileOptions::newRT().withObserver(std::move(Obs));
+  ASSERT_TRUE(compileKernel(spec(), Observed, GPU.registry()).hasValue());
+  const int FirstRun = PassCount;
+  EXPECT_GT(FirstRun, 0) << "observer must see the pipeline's passes";
+  ASSERT_TRUE(compileKernel(spec(), Observed, GPU.registry()).hasValue());
+  EXPECT_EQ(PassCount, 2 * FirstRun)
+      << "second compile must re-run the pipeline, not serve the cache";
+  EXPECT_EQ(KernelCache::global().hits(), 0u);
+  EXPECT_EQ(KernelCache::global().misses(), 0u);
+  EXPECT_EQ(KernelCache::global().size(), 0u);
+}
+
+TEST_F(KernelCacheTest, SingleSwitchFlipMisses) {
+  // Flipping any one optimization switch — with everything else identical —
+  // must produce a distinct cache key and therefore a miss.
+  const CompileOptions Base = CompileOptions::newRTNoAssumptions();
+  ASSERT_TRUE(compileKernel(spec(), Base, GPU.registry()).hasValue());
+  ASSERT_EQ(KernelCache::global().misses(), 1u);
+
+  using Flip = void (*)(opt::OptOptions &);
+  const Flip Flips[] = {
+      [](opt::OptOptions &O) { O.EnableInlining = false; },
+      [](opt::OptOptions &O) { O.EnableSPMDization = false; },
+      [](opt::OptOptions &O) { O.EnableGlobalizationElim = false; },
+      [](opt::OptOptions &O) { O.EnableFieldSensitiveProp = false; },
+      [](opt::OptOptions &O) { O.EnableInterprocDominance = false; },
+      [](opt::OptOptions &O) { O.EnableAssumedMemoryContent = false; },
+      [](opt::OptOptions &O) { O.EnableInvariantProp = false; },
+      [](opt::OptOptions &O) { O.EnableAlignedExecReasoning = false; },
+      [](opt::OptOptions &O) { O.EnableBarrierElim = false; },
+  };
+  std::uint64_t ExpectedMisses = 1;
+  for (Flip F : Flips) {
+    const CompileOptions Flipped = Base.withOptTweak(F);
+    ASSERT_TRUE(compileKernel(spec(), Flipped, GPU.registry()).hasValue());
+    EXPECT_EQ(KernelCache::global().misses(), ++ExpectedMisses)
+        << "a flipped switch must not hit the base entry";
+    // The same flipped configuration, again: now it must hit.
+    ASSERT_TRUE(compileKernel(spec(), Flipped, GPU.registry()).hasValue());
+  }
+  EXPECT_EQ(KernelCache::global().hits(), std::size(Flips));
+}
+
+TEST_F(KernelCacheTest, CountersMatchObservedHitsAndMisses) {
+  // A mixed sequence: 3 distinct compiles, each repeated once, one
+  // uncacheable compile interleaved. Cache totals and the process-wide
+  // counters must agree with what we observed.
+  const CompileOptions A = CompileOptions::newRT();
+  const CompileOptions B = CompileOptions::newRTNoAssumptions();
+  opt::RemarkCollector Remarks;
+  for (int Round = 0; Round < 2; ++Round) {
+    ASSERT_TRUE(compileKernel(spec(), A, GPU.registry()).hasValue());
+    ASSERT_TRUE(compileKernel(spec(), B, GPU.registry()).hasValue());
+    ASSERT_TRUE(compileKernel(spec(128), A, GPU.registry()).hasValue());
+    ASSERT_TRUE(compileKernel(spec(), A.withRemarks(Remarks), GPU.registry())
+                    .hasValue());
+  }
+  EXPECT_EQ(KernelCache::global().misses(), 3u);
+  EXPECT_EQ(KernelCache::global().hits(), 3u);
+  EXPECT_EQ(KernelCache::global().size(), 3u);
+  EXPECT_EQ(Counters::global().value("kernel-cache.misses"),
+            KernelCache::global().misses());
+  EXPECT_EQ(Counters::global().value("kernel-cache.hits"),
+            KernelCache::global().hits());
 }
 
 TEST_F(KernelCacheTest, KeyDistinguishesNativeOpIdentity) {

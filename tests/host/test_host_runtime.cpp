@@ -92,7 +92,7 @@ TEST_F(HostRuntimeTest, LaunchTranslatesMappedPointers) {
   B.retVoid();
 
   HostRuntime RT(GPU);
-  RT.registerImage(M);
+  ASSERT_TRUE(RT.registerImage(M).hasValue());
   constexpr std::uint32_t T = 16;
   std::vector<double> In(T), Out(T, 0.0);
   for (std::uint32_t I = 0; I < T; ++I)
@@ -119,7 +119,7 @@ TEST_F(HostRuntimeTest, LaunchRejectsUnknownKernelAndUnmappedArgs) {
   IRBuilder B(M);
   B.setInsertPoint(K->createBlock("entry"));
   B.retVoid();
-  RT.registerImage(M);
+  ASSERT_TRUE(RT.registerImage(M).hasValue());
   int X = 0;
   const KernelArg Args[] = {KernelArg::mapped(&X)};
   EXPECT_FALSE(RT.launch("k", Args, 1, 1).hasValue());
@@ -134,7 +134,7 @@ TEST_F(HostRuntimeTest, LaunchErrorNamesKernelArgumentAndCause) {
   IRBuilder B(M);
   B.setInsertPoint(K->createBlock("entry"));
   B.retVoid();
-  RT.registerImage(M);
+  ASSERT_TRUE(RT.registerImage(M).hasValue());
   int X = 0;
   const KernelArg Args[] = {KernelArg::i64(3), KernelArg::mapped(&X)};
   auto R = RT.launch("pinpoint_k", Args, 1, 1);
@@ -191,6 +191,70 @@ TEST_F(HostRuntimeTest, ConcurrentEnterExitKeepsRefcountsConsistent) {
   EXPECT_EQ(RT.numMappings(), 0u);
   EXPECT_FALSE(RT.isPresent(Shared.data()));
   EXPECT_EQ(GPU.bytesInUse(), 0u);
+}
+
+namespace {
+
+/// Add one trivial kernel of the given name to M.
+void addKernel(Module &M, const std::string &Name) {
+  Function *K = M.createFunction(Name, Type::voidTy(), {});
+  K->addAttr(FnAttr::Kernel);
+  IRBuilder B(M);
+  B.setInsertPoint(K->createBlock("entry"));
+  B.retVoid();
+}
+
+} // namespace
+
+TEST_F(HostRuntimeTest, DuplicateKernelNameRejected) {
+  HostRuntime RT(GPU);
+  Module First;
+  addKernel(First, "dup_k");
+  ASSERT_TRUE(RT.registerImage(First).hasValue());
+  Module Second;
+  addKernel(Second, "dup_k");
+  auto R = RT.registerImage(Second);
+  ASSERT_FALSE(R.hasValue())
+      << "silently overwriting a kernel binding must be rejected";
+  EXPECT_NE(R.error().message().find("dup_k"), std::string::npos)
+      << R.error().message();
+  // The first binding stays launchable; the rejected image registered
+  // nothing.
+  EXPECT_TRUE(RT.launch("dup_k", {}, 1, 1).hasValue());
+}
+
+TEST_F(HostRuntimeTest, RejectedImageRegistersNoKernels) {
+  HostRuntime RT(GPU);
+  Module First;
+  addKernel(First, "atomic_a");
+  ASSERT_TRUE(RT.registerImage(First).hasValue());
+  // Second image carries a fresh kernel AND a duplicate: rejecting it must
+  // register neither (validate-then-mutate, no partial registration).
+  Module Second;
+  addKernel(Second, "atomic_b");
+  addKernel(Second, "atomic_a");
+  EXPECT_FALSE(RT.registerImage(Second).hasValue());
+  EXPECT_FALSE(RT.launch("atomic_b", {}, 1, 1).hasValue())
+      << "a rejected image must not leave partial kernel bindings behind";
+}
+
+TEST_F(HostRuntimeTest, UnregisterImageAllowsReRegistration) {
+  HostRuntime RT(GPU);
+  Module First;
+  addKernel(First, "swap_k");
+  ASSERT_TRUE(RT.registerImage(First).hasValue());
+  RT.unregisterImage(First);
+  EXPECT_FALSE(RT.launch("swap_k", {}, 1, 1).hasValue())
+      << "unregistered kernels must no longer resolve";
+  Module Second;
+  addKernel(Second, "swap_k");
+  ASSERT_TRUE(RT.registerImage(Second).hasValue())
+      << "the name must be free again after unregistering";
+  EXPECT_TRUE(RT.launch("swap_k", {}, 1, 1).hasValue());
+  // Unregistering a never-registered module is a harmless no-op.
+  Module Unknown;
+  addKernel(Unknown, "never_registered");
+  RT.unregisterImage(Unknown);
 }
 
 } // namespace

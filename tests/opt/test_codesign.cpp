@@ -222,8 +222,8 @@ TEST_F(CodesignTest, OversubscriptionRemovesLoopAndRegisters) {
 TEST_F(CodesignTest, OversubscriptionViolationCaughtInDebugBuilds) {
   // More iterations than threads while asserting oversubscription: the
   // runtime check introduced in Section III-F must fire in a debug build.
-  CompileOptions Debug = CompileOptions::newRT();
-  Debug.CG.DebugKind = rt::DebugAssertions;
+  const CompileOptions Debug =
+      CompileOptions::newRT().withDebug(rt::DebugAssertions);
   auto CK = compileKernel(saxpySpec(), Debug, GPU->registry());
   ASSERT_TRUE(CK.hasValue()) << CK.error().message();
   constexpr std::uint64_t N = 10000; // >> 2*8 threads
@@ -243,8 +243,9 @@ TEST_F(CodesignTest, DebugBuildTracksRuntimeCostsReleaseDoesNot) {
   auto Release = compileKernel(saxpySpec(),
                                CompileOptions::newRTNoAssumptions(),
                                GPU->registry());
-  CompileOptions DebugOpts = CompileOptions::newRTNoAssumptions();
-  DebugOpts.CG.DebugKind = rt::DebugAssertions | rt::DebugFunctionTracing;
+  const CompileOptions DebugOpts =
+      CompileOptions::newRTNoAssumptions().withDebug(rt::DebugAssertions |
+                                                     rt::DebugFunctionTracing);
   auto Debug = compileKernel(saxpySpec(), DebugOpts, GPU->registry());
   ASSERT_TRUE(Release.hasValue() && Debug.hasValue());
   EXPECT_GT(Debug->Stats.CodeSize, Release->Stats.CodeSize)

@@ -208,14 +208,17 @@ TEST_P(PipelineSubsets, AnyPassSubsetPreservesResults) {
   Body.Args = {BodyArg::iter(), BodyArg::arg(0), BodyArg::threadNum()};
   Spec.Stmts = {Stmt::distributeParallelFor(TripCount::argument(1), Body)};
 
-  CompileOptions Options;
-  Options.Opt.EnableSPMDization = Mask & 1;
-  Options.Opt.EnableGlobalizationElim = Mask & 2;
-  Options.Opt.EnableFieldSensitiveProp = Mask & 4;
-  Options.Opt.EnableAssumedMemoryContent = Mask & 8;
-  Options.Opt.EnableInvariantProp = Mask & 16;
-  Options.Opt.EnableBarrierElim = Mask & 32;
-  Options.CG.ForceGenericMode = (Mask & 64) != 0;
+  const CompileOptions Options =
+      CompileOptions()
+          .withForceGenericMode((Mask & 64) != 0)
+          .withOptTweak([&](opt::OptOptions &O) {
+            O.EnableSPMDization = Mask & 1;
+            O.EnableGlobalizationElim = Mask & 2;
+            O.EnableFieldSensitiveProp = Mask & 4;
+            O.EnableAssumedMemoryContent = Mask & 8;
+            O.EnableInvariantProp = Mask & 16;
+            O.EnableBarrierElim = Mask & 32;
+          });
 
   auto CK = compileKernel(Spec, Options, GPU.registry());
   ASSERT_TRUE(CK.hasValue()) << CK.error().message();

@@ -1,0 +1,95 @@
+//===- tests/support/test_trace.cpp - Structured-event tracer --------------===//
+#include "support/Trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/Json.hpp"
+
+namespace codesign::trace {
+namespace {
+
+class TraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Tracer::global().setEnabled(false);
+    Tracer::global().clear();
+  }
+  void TearDown() override {
+    Tracer::global().setEnabled(false);
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  Tracer &T = Tracer::global();
+  ASSERT_FALSE(T.enabled());
+  T.instant("test", "ignored");
+  T.span("test", "ignored", 5);
+  T.counter("test", "ignored", 1);
+  { ScopedSpan S("test", "ignored"); S.field("k", 1); }
+  EXPECT_EQ(T.size(), 0u);
+}
+
+TEST_F(TraceTest, RecordsEventsInOrderWithSequenceNumbers) {
+  Tracer &T = Tracer::global();
+  T.setEnabled(true);
+  T.instant("cat", "first", {{"x", 1}});
+  T.span("cat", "second", 42, {{"y", 2}});
+  T.counter("cat", "third", 7);
+  const auto Events = T.events();
+  ASSERT_EQ(Events.size(), 3u);
+  EXPECT_EQ(Events[0].Kind, EventKind::Instant);
+  EXPECT_EQ(Events[0].Name, "first");
+  EXPECT_EQ(Events[1].Kind, EventKind::Span);
+  EXPECT_EQ(Events[1].DurationMicros, 42u);
+  EXPECT_EQ(Events[2].Kind, EventKind::Counter);
+  EXPECT_EQ(Events[0].Seq + 1, Events[1].Seq);
+  EXPECT_EQ(Events[1].Seq + 1, Events[2].Seq);
+}
+
+TEST_F(TraceTest, ScopedSpanCapturesEnabledAtConstruction) {
+  Tracer &T = Tracer::global();
+  T.setEnabled(true);
+  {
+    ScopedSpan S("cat", "work");
+    S.field("items", 10);
+    // Disabling mid-span must not lose the already-open span.
+    T.setEnabled(false);
+  }
+  const auto Events = T.events();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Name, "work");
+  ASSERT_EQ(Events[0].Fields.size(), 1u);
+  EXPECT_EQ(Events[0].Fields[0].first, "items");
+  EXPECT_EQ(Events[0].Fields[0].second, 10u);
+}
+
+TEST_F(TraceTest, DrainEmitsOneValidJsonObjectPerLineAndClears) {
+  Tracer &T = Tracer::global();
+  T.setEnabled(true);
+  T.instant("opt", "kernel-cache.hit");
+  T.span("frontend", "codegen", 17, {{"insts", 123}});
+  std::ostringstream OS;
+  T.drain(OS);
+  EXPECT_EQ(T.size(), 0u);
+
+  std::istringstream In(OS.str());
+  std::string Line;
+  std::size_t Lines = 0;
+  while (std::getline(In, Line)) {
+    ++Lines;
+    auto Doc = json::parse(Line);
+    ASSERT_TRUE(Doc.hasValue()) << "not JSON: " << Line;
+    ASSERT_TRUE(Doc->isObject());
+    EXPECT_TRUE(Doc->has("seq"));
+    EXPECT_TRUE(Doc->has("kind"));
+    EXPECT_TRUE(Doc->has("cat"));
+    EXPECT_TRUE(Doc->has("name"));
+  }
+  EXPECT_EQ(Lines, 2u);
+}
+
+} // namespace
+} // namespace codesign::trace
