@@ -11,6 +11,8 @@
 //     "rows": [ { "name": "...", ...per-row measurements... }, ... ],
 //     "pass_timings": { "opt.pass.<pass>.us": n, ... },
 //     "kernel_cache": { "kernel-cache.hits": n, "kernel-cache.misses": n },
+//     "analysis_cache": { "opt.analysis.<name>.hits": n, ...misses,
+//                         ...invalidations (nonzero entries only) },
 //     "counters": { ...remaining process-wide counters... }
 //   }
 //
@@ -152,10 +154,14 @@ public:
     Doc.set("rows", std::move(Rows));
     json::Value PassTimings = json::Value::object();
     json::Value Cache = json::Value::object();
+    json::Value AnalysisCache = json::Value::object();
     json::Value Other = json::Value::object();
     for (const auto &[Name, Count] : Counters::global().snapshot()) {
       json::Value *Dest = &Other;
-      if (Name.rfind("opt.pass.", 0) == 0 || Name.rfind("opt.fixpoint", 0) == 0)
+      if (Name.rfind("opt.analysis.", 0) == 0)
+        Dest = &AnalysisCache;
+      else if (Name.rfind("opt.pass.", 0) == 0 ||
+               Name.rfind("opt.fixpoint", 0) == 0)
         Dest = &PassTimings;
       else if (Name.rfind("kernel-cache.", 0) == 0)
         Dest = &Cache;
@@ -163,6 +169,7 @@ public:
     }
     Doc.set("pass_timings", std::move(PassTimings));
     Doc.set("kernel_cache", std::move(Cache));
+    Doc.set("analysis_cache", std::move(AnalysisCache));
     Doc.set("counters", std::move(Other));
 
     const std::string Path = outputDir() + "/BENCH_" + Bench + ".json";

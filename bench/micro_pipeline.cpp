@@ -196,6 +196,18 @@ int main(int argc, char **argv) {
 
   CODESIGN_ASSERT(!codesign::trace::Tracer::global().enabled(),
                   "micro_pipeline must run with tracing disabled");
+  if (bench::smokeMode()) {
+    // The pipeline iterated a fixpoint many times over; if no cached
+    // analysis was ever reused, the AnalysisManager is not doing its job.
+    std::uint64_t AnalysisHits = 0;
+    for (const auto &[Name, Count] : codesign::Counters::global().snapshot())
+      if (Name.rfind("opt.analysis.", 0) == 0 &&
+          Name.size() > 5 && Name.compare(Name.size() - 5, 5, ".hits") == 0)
+        AnalysisHits += Count;
+    CODESIGN_ASSERT(AnalysisHits > 0,
+                    "analysis cache recorded zero hits across the pipeline "
+                    "microbenchmarks");
+  }
   for (const CapturingReporter::Entry &E : Reporter.Captured) {
     codesign::json::Value &Row = Report.addRow(E.Name);
     Row.set("real_ns_per_iter", codesign::json::Value(E.RealNs));

@@ -56,7 +56,7 @@ bool validate(const std::string &File) {
       return fail(File, "row without a \"name\" string");
   }
   for (const char *Section : {"config", "pass_timings", "kernel_cache",
-                              "counters"}) {
+                              "analysis_cache", "counters"}) {
     const Value *S = Doc->find(Section);
     if (S && !S->isObject())
       return fail(File, "section is present but not an object");

@@ -63,7 +63,7 @@ int main() {
   // --- After: the full pipeline, with remarks --------------------------------
   opt::RemarkCollector Remarks;
   opt::OptOptions Options;
-  Options.Remarks = &Remarks;
+  Options.Obs.Remarks = &Remarks;
   opt::runPipeline(*Emitted->AppModule, Options);
   std::printf("=== AFTER openmp-opt: SPMDized, state eliminated ===\n%s\n",
               ir::printFunction(*Emitted->Kernel).c_str());
@@ -90,7 +90,7 @@ int main() {
   (void)linkRuntime(*Emitted2->AppModule, RuntimeKind::NewRT);
   opt::RemarkCollector Remarks2;
   opt::OptOptions Options2;
-  Options2.Remarks = &Remarks2;
+  Options2.Obs.Remarks = &Remarks2;
   opt::runPipeline(*Emitted2->AppModule, Options2);
   for (const opt::Remark &R : Remarks2.filtered(opt::RemarkKind::Missed))
     std::printf("  [missed] %s: %s\n", R.Pass.c_str(), R.Message.c_str());

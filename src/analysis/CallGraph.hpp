@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/Preserved.hpp"
 #include "ir/Module.hpp"
 
 namespace codesign::analysis {
@@ -18,6 +19,8 @@ using ir::Module;
 /// unknown callers/callees; so do ours).
 class CallGraph {
 public:
+  static constexpr AnalysisKind Kind = AnalysisKind::CallGraph;
+
   explicit CallGraph(const Module &M);
 
   /// Functions directly called by F (deduplicated, deterministic order).
@@ -35,6 +38,20 @@ public:
   /// through the state machine's work-function pointer).
   [[nodiscard]] const std::set<Function *> &reachableFromKernels() const {
     return Reachable;
+  }
+
+  /// Structural equality against another CallGraph over the same module
+  /// (differential checking of cached results).
+  [[nodiscard]] bool equivalentTo(const CallGraph &Other) const {
+    return Callees == Other.Callees && Callers == Other.Callers &&
+           UnknownCallee == Other.UnknownCallee &&
+           AddressTaken == Other.AddressTaken && Reachable == Other.Reachable;
+  }
+
+  /// Invalidation hook: true when a pass reporting PA requires this
+  /// analysis to be recomputed.
+  [[nodiscard]] bool invalidatedBy(const PreservedAnalyses &PA) const {
+    return !PA.isPreserved(Kind);
   }
 
 private:

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/Preserved.hpp"
 #include "ir/Function.hpp"
 
 namespace codesign::analysis {
@@ -24,6 +25,8 @@ using ir::Instruction;
 /// dominator information and dominate nothing.
 class DominatorTree {
 public:
+  static constexpr AnalysisKind Kind = AnalysisKind::Dominators;
+
   /// Build for F. F must have an entry block.
   explicit DominatorTree(const Function &F);
 
@@ -48,6 +51,18 @@ public:
   /// Blocks in reverse postorder (reachable blocks only).
   [[nodiscard]] const std::vector<const BasicBlock *> &rpo() const {
     return RPO;
+  }
+
+  /// Structural equality against another tree over the same function
+  /// (differential checking of cached results).
+  [[nodiscard]] bool equivalentTo(const DominatorTree &Other) const {
+    return &F == &Other.F && RPO == Other.RPO && IDom == Other.IDom;
+  }
+
+  /// Invalidation hook: true when a pass reporting PA requires this
+  /// analysis to be recomputed.
+  [[nodiscard]] bool invalidatedBy(const PreservedAnalyses &PA) const {
+    return !PA.isPreserved(Kind);
   }
 
 private:

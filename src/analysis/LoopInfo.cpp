@@ -1,0 +1,99 @@
+#include "analysis/LoopInfo.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace codesign::analysis {
+
+bool Loop::contains(const BasicBlock *BB) const {
+  return std::find(Blocks.begin(), Blocks.end(), BB) != Blocks.end();
+}
+
+LoopInfo::LoopInfo(const Function &F, const DominatorTree &DT) : F(F) {
+  CODESIGN_ASSERT(&DT.function() == &F,
+                  "loop info built with a foreign dominator tree");
+
+  std::unordered_map<const BasicBlock *, int> RPOIndex;
+  for (std::size_t I = 0; I < DT.rpo().size(); ++I)
+    RPOIndex[DT.rpo()[I]] = static_cast<int>(I);
+
+  // Back edges in RPO order of the latch, grouped by header.
+  std::unordered_map<const BasicBlock *, std::vector<const BasicBlock *>>
+      LatchesOf;
+  std::vector<const BasicBlock *> Headers;
+  for (const BasicBlock *BB : DT.rpo())
+    for (const BasicBlock *Succ : BB->successors())
+      if (DT.dominates(Succ, BB)) {
+        auto &L = LatchesOf[Succ];
+        if (L.empty())
+          Headers.push_back(Succ);
+        L.push_back(BB);
+      }
+  std::sort(Headers.begin(), Headers.end(),
+            [&](const BasicBlock *A, const BasicBlock *B) {
+              return RPOIndex[A] < RPOIndex[B];
+            });
+
+  for (const BasicBlock *Header : Headers) {
+    Loop L;
+    L.Header = Header;
+    L.Latches = LatchesOf[Header];
+
+    // Body: blocks that reach a latch backwards without crossing the header.
+    std::unordered_set<const BasicBlock *> Body{Header};
+    std::vector<const BasicBlock *> Work;
+    for (const BasicBlock *Latch : L.Latches)
+      if (Body.insert(Latch).second)
+        Work.push_back(Latch);
+    while (!Work.empty()) {
+      const BasicBlock *BB = Work.back();
+      Work.pop_back();
+      for (const BasicBlock *Pred : BB->predecessors())
+        if (DT.isReachable(Pred) && Body.insert(Pred).second)
+          Work.push_back(Pred);
+    }
+
+    L.Blocks.assign(Body.begin(), Body.end());
+    std::sort(L.Blocks.begin(), L.Blocks.end(),
+              [&](const BasicBlock *A, const BasicBlock *B) {
+                return RPOIndex[A] < RPOIndex[B];
+              });
+    std::sort(L.Latches.begin(), L.Latches.end(),
+              [&](const BasicBlock *A, const BasicBlock *B) {
+                return RPOIndex[A] < RPOIndex[B];
+              });
+    Loops.push_back(std::move(L));
+  }
+
+  for (unsigned I = 0; I < Loops.size(); ++I)
+    for (const BasicBlock *BB : Loops[I].Blocks) {
+      ++Depth[BB];
+      auto It = InnermostLoop.find(BB);
+      if (It == InnermostLoop.end() ||
+          Loops[I].Blocks.size() < Loops[It->second].Blocks.size())
+        InnermostLoop[BB] = I;
+    }
+}
+
+const Loop *LoopInfo::loopFor(const BasicBlock *BB) const {
+  auto It = InnermostLoop.find(BB);
+  return It == InnermostLoop.end() ? nullptr : &Loops[It->second];
+}
+
+unsigned LoopInfo::depth(const BasicBlock *BB) const {
+  auto It = Depth.find(BB);
+  return It == Depth.end() ? 0 : It->second;
+}
+
+bool LoopInfo::equivalentTo(const LoopInfo &Other) const {
+  if (&F != &Other.F || Loops.size() != Other.Loops.size())
+    return false;
+  for (std::size_t I = 0; I < Loops.size(); ++I) {
+    const Loop &A = Loops[I], &B = Other.Loops[I];
+    if (A.Header != B.Header || A.Blocks != B.Blocks || A.Latches != B.Latches)
+      return false;
+  }
+  return true;
+}
+
+} // namespace codesign::analysis

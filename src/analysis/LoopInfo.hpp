@@ -1,0 +1,75 @@
+//===- analysis/LoopInfo.hpp - Natural loop detection ----------------------===//
+//
+// Natural loops from back edges: an edge latch -> header where the header
+// dominates the latch. The loop body is every block that reaches a latch
+// without passing through the header. Loops sharing a header are merged
+// (the classical definition). Nesting is exposed as a per-block depth
+// rather than a loop tree — the paper's reasoning about loop-carried
+// runtime state (§IV-B, Fig. 11) needs "is this inside a loop, and how
+// deep", not the full forest.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/Dominators.hpp"
+#include "analysis/Preserved.hpp"
+#include "ir/Function.hpp"
+
+namespace codesign::analysis {
+
+/// One natural loop. Block lists are in reverse postorder, so Blocks.front()
+/// is always the header.
+struct Loop {
+  const BasicBlock *Header = nullptr;
+  std::vector<const BasicBlock *> Blocks;  ///< Header first, then body (RPO).
+  std::vector<const BasicBlock *> Latches; ///< Sources of back edges (RPO).
+
+  [[nodiscard]] bool contains(const BasicBlock *BB) const;
+};
+
+/// Natural loops of one function.
+class LoopInfo {
+public:
+  static constexpr AnalysisKind Kind = AnalysisKind::Loops;
+
+  /// Build using an existing dominator tree over the same function (the
+  /// AnalysisManager path — dominators are cached separately).
+  LoopInfo(const Function &F, const DominatorTree &DT);
+
+  /// Convenience: build a private dominator tree first.
+  explicit LoopInfo(const Function &F) : LoopInfo(F, DominatorTree(F)) {}
+
+  /// The function this analysis was built for.
+  [[nodiscard]] const Function &function() const { return F; }
+
+  /// All loops, ordered by header position in RPO (outer loops first when
+  /// nested, since an outer header precedes its inner headers in RPO).
+  [[nodiscard]] const std::vector<Loop> &loops() const { return Loops; }
+
+  /// The innermost (smallest) loop containing BB, or null.
+  [[nodiscard]] const Loop *loopFor(const BasicBlock *BB) const;
+
+  /// Number of loops containing BB (0 outside any loop).
+  [[nodiscard]] unsigned depth(const BasicBlock *BB) const;
+
+  /// Structural equality against another LoopInfo over the same function.
+  [[nodiscard]] bool equivalentTo(const LoopInfo &Other) const;
+
+  /// Invalidation hook: true when a pass reporting PA requires this
+  /// analysis to be recomputed.
+  [[nodiscard]] bool invalidatedBy(const PreservedAnalyses &PA) const {
+    return !PA.isPreserved(Kind);
+  }
+
+private:
+  const Function &F;
+  std::vector<Loop> Loops;
+  // Innermost loop index per block; blocks outside loops are absent.
+  std::unordered_map<const BasicBlock *, unsigned> InnermostLoop;
+  std::unordered_map<const BasicBlock *, unsigned> Depth;
+};
+
+} // namespace codesign::analysis

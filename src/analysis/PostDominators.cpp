@@ -1,0 +1,128 @@
+#include "analysis/PostDominators.hpp"
+
+namespace codesign::analysis {
+
+PostDominatorTree::PostDominatorTree(const Function &F) : F(F) {
+  CODESIGN_ASSERT(!F.isDeclaration(), "post-dominator tree over a declaration");
+
+  // Exit blocks: a terminator with no successors (Ret / Unreachable). They
+  // are the virtual exit's predecessors in the reverse CFG.
+  std::vector<const BasicBlock *> Exits;
+  for (const auto &BB : F.blocks())
+    if (BB->terminator() && BB->successors().empty())
+      Exits.push_back(BB.get());
+
+  // Depth-first postorder of the reverse CFG from the virtual exit, then
+  // reverse: exit-reaching blocks only, exits first.
+  std::vector<const BasicBlock *> PostOrder;
+  std::unordered_map<const BasicBlock *, int> State; // 0 new, 1 open, 2 done
+  std::vector<std::pair<const BasicBlock *, std::size_t>> Stack;
+  for (const BasicBlock *E : Exits) {
+    if (State[E] != 0)
+      continue;
+    State[E] = 1;
+    Stack.emplace_back(E, 0);
+    while (!Stack.empty()) {
+      auto &[BB, NextPred] = Stack.back();
+      std::vector<ir::BasicBlock *> Preds = BB->predecessors();
+      if (NextPred < Preds.size()) {
+        const BasicBlock *P = Preds[NextPred++];
+        if (State[P] == 0) {
+          State[P] = 1;
+          Stack.emplace_back(P, 0);
+        }
+      } else {
+        State[BB] = 2;
+        PostOrder.push_back(BB);
+        Stack.pop_back();
+      }
+    }
+  }
+  Order.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (std::size_t I = 0; I < Order.size(); ++I)
+    OrderIndex[Order[I]] = static_cast<int>(I);
+
+  // Cooper-Harvey-Kennedy over the reverse CFG. Index -1 is the virtual
+  // exit (the common ancestor of everything); -2 marks an unprocessed node.
+  IPDom.assign(Order.size(), -2);
+  for (const BasicBlock *E : Exits)
+    IPDom[static_cast<std::size_t>(OrderIndex[E])] = -1;
+
+  auto intersect = [&](int A, int B) {
+    while (A != B) {
+      // -1 (virtual exit) is everyone's ancestor; the walks below only
+      // index IPDom with nonnegative values because A > B implies A >= 0.
+      while (A > B)
+        A = IPDom[static_cast<std::size_t>(A)];
+      while (B > A)
+        B = IPDom[static_cast<std::size_t>(B)];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (std::size_t I = 0; I < Order.size(); ++I) {
+      if (Order[I]->successors().empty())
+        continue; // exit block, pinned to the virtual exit
+      int NewIPDom = -2;
+      for (const BasicBlock *S : Order[I]->successors()) {
+        auto It = OrderIndex.find(S);
+        if (It == OrderIndex.end())
+          continue; // successor reaches no exit
+        const int SI = It->second;
+        if (IPDom[static_cast<std::size_t>(SI)] == -2)
+          continue; // not yet processed
+        NewIPDom = (NewIPDom == -2) ? SI : intersect(NewIPDom, SI);
+      }
+      if (NewIPDom != -2 && IPDom[I] != NewIPDom) {
+        IPDom[I] = NewIPDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+int PostDominatorTree::indexOf(const BasicBlock *BB) const {
+  auto It = OrderIndex.find(BB);
+  return It == OrderIndex.end() ? -1 : It->second;
+}
+
+bool PostDominatorTree::reachesExit(const BasicBlock *BB) const {
+  return indexOf(BB) >= 0;
+}
+
+const BasicBlock *PostDominatorTree::ipdom(const BasicBlock *BB) const {
+  const int I = indexOf(BB);
+  if (I < 0)
+    return nullptr;
+  const int D = IPDom[static_cast<std::size_t>(I)];
+  return D < 0 ? nullptr : Order[static_cast<std::size_t>(D)];
+}
+
+bool PostDominatorTree::postDominates(const BasicBlock *A,
+                                      const BasicBlock *B) const {
+  int AI = indexOf(A), BI = indexOf(B);
+  if (AI < 0 || BI < 0)
+    return false;
+  while (BI > AI)
+    BI = IPDom[static_cast<std::size_t>(BI)];
+  return BI == AI;
+}
+
+bool PostDominatorTree::postDominates(const Instruction *A,
+                                      const Instruction *B) const {
+  const BasicBlock *ABB = A->parent();
+  const BasicBlock *BBB = B->parent();
+  CODESIGN_ASSERT(ABB && BBB, "detached instruction in post-dominance query");
+  if (ABB == BBB)
+    return ABB->indexOf(A) > BBB->indexOf(B);
+  return postDominates(ABB, BBB);
+}
+
+bool PostDominatorTree::equivalentTo(const PostDominatorTree &Other) const {
+  return &F == &Other.F && Order == Other.Order && IPDom == Other.IPDom;
+}
+
+} // namespace codesign::analysis

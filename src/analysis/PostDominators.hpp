@@ -1,0 +1,86 @@
+//===- analysis/PostDominators.hpp - Post-dominator tree -------------------===//
+//
+// Post-dominance over one function: A post-dominates B when every path from
+// B to function exit passes through A. Computed with the same
+// Cooper/Harvey/Kennedy iteration as the dominator tree, run over the
+// reverse CFG with a virtual exit joining every exit block (return or
+// unreachable terminator). Blocks on infinite loops reach no exit and have
+// no post-dominator information.
+//
+// The paper's §IV-C aligned-execution reasoning is phrased in terms of
+// blocks executed by all threads together; post-dominance of the kernel
+// exit is the standard way to prove that, and the pass-manager caches this
+// tree alongside the dominator tree so future passes get it for free.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/Preserved.hpp"
+#include "ir/Function.hpp"
+
+namespace codesign::analysis {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+
+/// Immediate-post-dominator tree for one function.
+class PostDominatorTree {
+public:
+  static constexpr AnalysisKind Kind = AnalysisKind::PostDominators;
+
+  /// Build for F. F must have an entry block.
+  explicit PostDominatorTree(const Function &F);
+
+  /// The function this tree was built for.
+  [[nodiscard]] const Function &function() const { return F; }
+
+  /// True when block A post-dominates block B (reflexive). False whenever
+  /// either block cannot reach an exit.
+  [[nodiscard]] bool postDominates(const BasicBlock *A,
+                                   const BasicBlock *B) const;
+
+  /// True when instruction A post-dominates instruction B: block
+  /// post-dominance, or later position within the same block. Not
+  /// reflexive at the instruction level.
+  [[nodiscard]] bool postDominates(const Instruction *A,
+                                   const Instruction *B) const;
+
+  /// Immediate post-dominator of BB. Null for exit blocks (their immediate
+  /// post-dominator is the virtual exit) and for blocks that reach no exit.
+  [[nodiscard]] const BasicBlock *ipdom(const BasicBlock *BB) const;
+
+  /// True when some path from BB reaches an exit block.
+  [[nodiscard]] bool reachesExit(const BasicBlock *BB) const;
+
+  /// Blocks in reverse postorder of the *reverse* CFG (exit-reaching blocks
+  /// only; exits come first).
+  [[nodiscard]] const std::vector<const BasicBlock *> &order() const {
+    return Order;
+  }
+
+  /// Structural equality against another tree over the same function
+  /// (differential checking of cached results).
+  [[nodiscard]] bool equivalentTo(const PostDominatorTree &Other) const;
+
+  /// Invalidation hook: true when a pass reporting PA requires this
+  /// analysis to be recomputed.
+  [[nodiscard]] bool invalidatedBy(const PreservedAnalyses &PA) const {
+    return !PA.isPreserved(Kind);
+  }
+
+private:
+  [[nodiscard]] int indexOf(const BasicBlock *BB) const;
+
+  const Function &F;
+  std::vector<const BasicBlock *> Order;
+  std::unordered_map<const BasicBlock *, int> OrderIndex;
+  // Indexed by Order position. -1 = virtual exit (the block is an exit or
+  // all its paths diverge directly into the virtual exit's children).
+  std::vector<int> IPDom;
+};
+
+} // namespace codesign::analysis

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/Preserved.hpp"
 #include "ir/Function.hpp"
 
 namespace codesign::analysis {
@@ -25,7 +26,12 @@ using ir::Instruction;
 /// post-inlining, so the dense representation is fine).
 class Reachability {
 public:
+  static constexpr AnalysisKind Kind = AnalysisKind::Reachability;
+
   explicit Reachability(const Function &F);
+
+  /// The function this analysis was built for.
+  [[nodiscard]] const Function &function() const { return F; }
 
   /// True when control can flow from block A to block B through one or more
   /// CFG edges (NOT reflexive unless A is on a cycle reaching itself).
@@ -41,6 +47,18 @@ public:
   /// canReach(A, I) && canReach(I, B). A and B themselves never count.
   [[nodiscard]] bool isBetween(const Instruction *A, const Instruction *I,
                                const Instruction *B) const;
+
+  /// Structural equality against another Reachability over the same
+  /// function (differential checking of cached results).
+  [[nodiscard]] bool equivalentTo(const Reachability &Other) const {
+    return &F == &Other.F && Index == Other.Index && Reach == Other.Reach;
+  }
+
+  /// Invalidation hook: true when a pass reporting PA requires this
+  /// analysis to be recomputed.
+  [[nodiscard]] bool invalidatedBy(const PreservedAnalyses &PA) const {
+    return !PA.isPreserved(Kind);
+  }
 
 private:
   [[nodiscard]] int indexOf(const BasicBlock *BB) const;

@@ -70,7 +70,8 @@ KernelCache &KernelCache::global() {
 
 std::string KernelCache::key(const KernelSpec &Spec,
                              const CompileOptions &Options,
-                             const vgpu::NativeRegistry &Registry) {
+                             const vgpu::NativeRegistry &Registry,
+                             std::string_view PipelineStr) {
   std::string Key;
   Key.reserve(256);
   putStr(Key, Spec.Name);
@@ -101,6 +102,9 @@ std::string KernelCache::key(const KernelSpec &Spec,
                   (O.EnableBarrierElim ? 256 : 0) | (O.KeepAssumes ? 512 : 0));
   putNum(Key, O.MaxFixpointRounds);
   putNum(Key, Options.RunOptimizer ? 1 : 0);
+  // The resolved pipeline: distinguishes Opt.Pipeline overrides that the
+  // toggle bits above cannot see.
+  putStr(Key, PipelineStr);
   return Key;
 }
 

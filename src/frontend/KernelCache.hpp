@@ -14,6 +14,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "frontend/TargetCompiler.hpp"
@@ -27,9 +28,14 @@ class KernelCache {
 public:
   static KernelCache &global();
 
-  /// Build the content-addressed key for a compilation request.
+  /// Build the content-addressed key for a compilation request. PipelineStr
+  /// is the canonical text of the resolved pipeline spec (PipelineSpec::str);
+  /// it captures the pass sequence the toggles and any Opt.Pipeline override
+  /// imply, so a pipeline override reaching the same toggles still gets its
+  /// own entry. Empty when the optimizer does not run.
   static std::string key(const KernelSpec &Spec, const CompileOptions &Options,
-                         const vgpu::NativeRegistry &Registry);
+                         const vgpu::NativeRegistry &Registry,
+                         std::string_view PipelineStr = {});
 
   /// Cached kernel for Key; nullopt on miss. Counts a hit or a miss.
   std::optional<CompiledKernel> lookup(const std::string &Key);

@@ -3,6 +3,7 @@
 #include "frontend/Driver.hpp"
 #include "frontend/KernelCache.hpp"
 #include "ir/Verifier.hpp"
+#include "opt/PassManager.hpp"
 #include "support/Trace.hpp"
 
 #include <chrono>
@@ -79,13 +80,30 @@ CompileOptions CompileOptions::cuda() {
 Expected<CompiledKernel> compileKernel(const KernelSpec &Spec,
                                        const CompileOptions &Options,
                                        const vgpu::NativeRegistry &Registry) {
+  // The effective pipeline configuration: debug builds keep the assumptions
+  // alive so the virtual GPU verifies them at run time (Section III-G).
+  opt::OptOptions OptCfg = Options.Opt;
+  if (Options.CG.DebugKind != 0)
+    OptCfg.KeepAssumes = true;
+  // Resolve the pipeline up front: an invalid Options.Opt.Pipeline string is
+  // a compile error, and the canonical spec text is part of the cache key.
+  std::string PipelineStr;
+  opt::PipelineSpec Pipeline;
+  if (Options.RunOptimizer) {
+    auto Resolved = opt::resolvePipelineSpec(OptCfg);
+    if (!Resolved)
+      return makeError("invalid pipeline specification: ",
+                       Resolved.error().message());
+    Pipeline = Resolved.takeValue();
+    PipelineStr = Pipeline.str();
+  }
   // Observation (remarks, pass callbacks) sees the pipeline as a side
   // effect, so such requests must actually compile.
   const bool Cacheable = Options.UseKernelCache && !Options.Opt.observed();
   trace::Tracer &Tracer = trace::Tracer::global();
   std::string Key;
   if (Cacheable) {
-    Key = KernelCache::key(Spec, Options, Registry);
+    Key = KernelCache::key(Spec, Options, Registry, PipelineStr);
     if (auto Cached = KernelCache::global().lookup(Key)) {
       // The stored timing belongs to the compile that populated the entry;
       // this request paid only the lookup.
@@ -117,12 +135,11 @@ Expected<CompiledKernel> compileKernel(const KernelSpec &Spec,
   }
   Timing.VerifyMicros += Clock.lap("verify");
   if (Options.RunOptimizer) {
-    opt::OptOptions OptCfg = Options.Opt;
-    // Debug builds keep the assumptions alive so the virtual GPU verifies
-    // them at run time (Section III-G).
-    if (Options.CG.DebugKind != 0)
-      OptCfg.KeepAssumes = true;
-    opt::runPipeline(*CG->AppModule, OptCfg);
+    auto PM = opt::PassManager::create(Pipeline);
+    if (!PM)
+      return makeError("invalid pipeline specification: ",
+                       PM.error().message());
+    PM->run(*CG->AppModule, OptCfg);
     Timing.OptMicros = Clock.lap("opt");
     auto Errors = ir::verifyModule(*CG->AppModule);
     if (!Errors.empty())

@@ -95,6 +95,14 @@ struct CompileOptions {
     Tweak(O.Opt);
     return O;
   }
+  /// Override the optimization pipeline with a textual spec (see
+  /// opt/PassManager.hpp for the grammar). compileKernel rejects invalid
+  /// text; the resolved spec becomes part of the kernel-cache key.
+  [[nodiscard]] CompileOptions withPipeline(std::string Pipeline) const {
+    CompileOptions O = *this;
+    O.Opt.Pipeline = std::move(Pipeline);
+    return O;
+  }
   /// Attach a remark collector (makes the compile uncacheable).
   [[nodiscard]] CompileOptions withRemarks(opt::RemarkCollector &RC) const {
     CompileOptions O = *this;

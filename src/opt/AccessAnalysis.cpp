@@ -271,4 +271,25 @@ AccessAnalysis::uniqueLoadLocation(const Instruction *Load) const {
   return Locs[0];
 }
 
+bool AccessAnalysis::equivalentTo(const AccessAnalysis &Other) const {
+  auto SameAccess = [](const MemAccess &A, const MemAccess &B) {
+    return A.I == B.I && A.Kind == B.Kind && A.OffsetKnown == B.OffsetKnown &&
+           A.Offset == B.Offset && A.Size == B.Size && A.Stored == B.Stored &&
+           A.Conditional == B.Conditional;
+  };
+  if (Objects.size() != Other.Objects.size() || InstIndex != Other.InstIndex)
+    return false;
+  for (std::size_t I = 0; I < Objects.size(); ++I) {
+    const ObjectInfo &A = Objects[I], &B = Other.Objects[I];
+    if (A.Base != B.Base || A.Space != B.Space || A.Size != B.Size ||
+        A.ZeroInit != B.ZeroInit || A.Analyzable != B.Analyzable ||
+        A.Accesses.size() != B.Accesses.size())
+      return false;
+    for (std::size_t J = 0; J < A.Accesses.size(); ++J)
+      if (!SameAccess(A.Accesses[J], B.Accesses[J]))
+        return false;
+  }
+  return true;
+}
+
 } // namespace codesign::opt

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/Preserved.hpp"
 #include "ir/Module.hpp"
 
 namespace codesign::opt {
@@ -104,6 +105,9 @@ struct AccessLocation {
 /// state manipulation is visible inside the kernel).
 class AccessAnalysis {
 public:
+  static constexpr analysis::AnalysisKind Kind =
+      analysis::AnalysisKind::Accesses;
+
   /// Analyze F. When CollectAssumes is set, assume(load == V) patterns are
   /// registered as AssumedEq accesses (Section IV-B3).
   AccessAnalysis(Function &F, bool CollectAssumes);
@@ -126,6 +130,16 @@ public:
   /// Object info for a base value (GlobalVariable / Alloca / Malloc), or
   /// null when it was not analyzed.
   [[nodiscard]] const ObjectInfo *objectFor(const Value *Base) const;
+
+  /// Structural equality against another AccessAnalysis over the same
+  /// function (differential checking of cached results).
+  [[nodiscard]] bool equivalentTo(const AccessAnalysis &Other) const;
+
+  /// Invalidation hook: true when a pass reporting PA requires this
+  /// analysis to be recomputed.
+  [[nodiscard]] bool invalidatedBy(const analysis::PreservedAnalyses &PA) const {
+    return !PA.isPreserved(Kind);
+  }
 
 private:
   void analyzeObject(const Value *Base, AddrSpace Space, std::uint64_t Size,

@@ -23,6 +23,7 @@
 #include "analysis/Dominators.hpp"
 #include "analysis/Reachability.hpp"
 #include "opt/AccessAnalysis.hpp"
+#include "opt/PassManager.hpp"
 #include "opt/Pipeline.hpp"
 
 #include <set>
@@ -160,9 +161,9 @@ Value *zeroOfType(Module &M, Type Ty) {
 
 class Forwarder {
 public:
-  Forwarder(Function &F, const OptOptions &Options)
-      : F(F), M(*F.parent()), Options(Options),
-        AA(F, Options.EnableAssumedMemoryContent), DT(F), RA(F) {
+  Forwarder(Function &F, const OptOptions &Options, const AccessAnalysis &AA,
+            const DominatorTree &DT, const Reachability &RA)
+      : F(F), M(*F.parent()), Options(Options), AA(AA), DT(DT), RA(RA) {
     for (const auto &BB : F.blocks())
       for (const auto &I : BB->instructions())
         if (I->isBarrier())
@@ -345,98 +346,141 @@ private:
   Function &F;
   Module &M;
   const OptOptions &Options;
-  AccessAnalysis AA;
-  DominatorTree DT;
-  Reachability RA;
+  const AccessAnalysis &AA;
+  const DominatorTree &DT;
+  const Reachability &RA;
   UniformityAnalysis Uniformity;
   std::vector<const Instruction *> Barriers;
 };
 
-} // namespace
-
-bool runLoadForwarding(Module &M, const OptOptions &Options) {
-  if (!Options.EnableFieldSensitiveProp)
-    return false;
+/// Dead-store elimination over one function; analyses come from the
+/// manager so unchanged functions reuse what load forwarding computed.
+bool eliminateDeadStores(Function &F, const AccessAnalysis &AA,
+                         const Reachability &RA) {
   bool Changed = false;
-  for (const auto &F : M.functions()) {
-    if (F->isDeclaration())
-      continue;
-    Forwarder Fw(*F, Options);
-    Changed |= Fw.run();
+  // A store is erasable only when its pointer provenance is fully known
+  // and every base it may write is an analyzable object with no
+  // (reachable) readers of the stored range.
+  std::vector<Instruction *> Dead;
+  for (const auto &BB : F.blocks()) {
+    for (const auto &Inst : BB->instructions()) {
+      if (Inst->opcode() != ir::Opcode::Store)
+        continue;
+      Instruction *S = Inst.get();
+      std::vector<const Value *> Bases;
+      if (!traceBases(S->pointerOperand(), Bases) || Bases.empty())
+        continue;
+      bool Erasable = true;
+      for (const Value *Base : Bases) {
+        const ObjectInfo *O = AA.objectFor(Base);
+        if (!O || !O->Analyzable) {
+          Erasable = false;
+          break;
+        }
+        // The store's recorded access in this object (for offset info);
+        // analyzable objects have complete access lists.
+        const MemAccess *StoreAcc = nullptr;
+        for (const MemAccess &A : O->Accesses)
+          if (A.I == S && A.Kind == AccessKind::Store)
+            StoreAcc = &A;
+        if (!StoreAcc) {
+          Erasable = false;
+          break;
+        }
+        for (const MemAccess &R : O->Accesses) {
+          if (R.Kind == AccessKind::Store)
+            continue;
+          if (!R.overlaps(StoreAcc->OffsetKnown, StoreAcc->Offset,
+                          StoreAcc->Size))
+            continue;
+          if (O->isThreadPrivate()) {
+            // Sequential: only readers reachable from the store matter.
+            if (RA.canReach(S, R.I)) {
+              Erasable = false;
+              break;
+            }
+          } else {
+            // Concurrent object: another thread may read at any time.
+            Erasable = false;
+            break;
+          }
+        }
+        if (!Erasable)
+          break;
+      }
+      if (Erasable)
+        Dead.push_back(S);
+    }
+  }
+  for (Instruction *S : Dead) {
+    CODESIGN_ASSERT(S->useEmpty(), "store with uses");
+    S->parent()->erase(S);
+    Changed = true;
   }
   return Changed;
 }
 
-bool runDeadStoreElim(Module &M, const OptOptions &Options) {
+} // namespace
+
+PassResult runLoadForwarding(Module &M, AnalysisManager &AM,
+                             const OptOptions &Options) {
   if (!Options.EnableFieldSensitiveProp)
-    return false;
-  bool Changed = false;
+    return PassResult::unchanged();
+  PassResult Res;
+  // Value rewrites only: CFG-shape analyses survive. The access analysis
+  // does not (stored operands are rewritten in place) and neither does the
+  // call graph (a forwarded function pointer turns an indirect call
+  // direct). Invalidation is scoped to the functions actually touched.
+  Res.Preserved = analysis::PreservedAnalyses::cfg();
+  Res.PerFunction = true;
   for (const auto &F : M.functions()) {
     if (F->isDeclaration())
       continue;
-    AccessAnalysis AA(*F, Options.EnableAssumedMemoryContent);
-    Reachability RA(*F);
-    // A store is erasable only when its pointer provenance is fully known
-    // and every base it may write is an analyzable object with no
-    // (reachable) readers of the stored range.
-    std::vector<Instruction *> Dead;
-    for (const auto &BB : F->blocks()) {
-      for (const auto &Inst : BB->instructions()) {
-        if (Inst->opcode() != ir::Opcode::Store)
-          continue;
-        Instruction *S = Inst.get();
-        std::vector<const Value *> Bases;
-        if (!traceBases(S->pointerOperand(), Bases) || Bases.empty())
-          continue;
-        bool Erasable = true;
-        for (const Value *Base : Bases) {
-          const ObjectInfo *O = AA.objectFor(Base);
-          if (!O || !O->Analyzable) {
-            Erasable = false;
-            break;
-          }
-          // The store's recorded access in this object (for offset info);
-          // analyzable objects have complete access lists.
-          const MemAccess *StoreAcc = nullptr;
-          for (const MemAccess &A : O->Accesses)
-            if (A.I == S && A.Kind == AccessKind::Store)
-              StoreAcc = &A;
-          if (!StoreAcc) {
-            Erasable = false;
-            break;
-          }
-          for (const MemAccess &R : O->Accesses) {
-            if (R.Kind == AccessKind::Store)
-              continue;
-            if (!R.overlaps(StoreAcc->OffsetKnown, StoreAcc->Offset,
-                            StoreAcc->Size))
-              continue;
-            if (O->isThreadPrivate()) {
-              // Sequential: only readers reachable from the store matter.
-              if (RA.canReach(S, R.I)) {
-                Erasable = false;
-                break;
-              }
-            } else {
-              // Concurrent object: another thread may read at any time.
-              Erasable = false;
-              break;
-            }
-          }
-          if (!Erasable)
-            break;
-        }
-        if (Erasable)
-          Dead.push_back(S);
-      }
-    }
-    for (Instruction *S : Dead) {
-      CODESIGN_ASSERT(S->useEmpty(), "store with uses");
-      S->parent()->erase(S);
-      Changed = true;
+    const AccessAnalysis &AA =
+        AM.accesses(*F, Options.EnableAssumedMemoryContent);
+    const DominatorTree &DT = AM.dominators(*F);
+    const Reachability &RA = AM.reachability(*F);
+    Forwarder Fw(*F, Options, AA, DT, RA);
+    if (Fw.run()) {
+      Res.Changed = true;
+      Res.ChangedFunctions.push_back(F.get());
     }
   }
-  return Changed;
+  return Res;
+}
+
+bool runLoadForwarding(Module &M, const OptOptions &Options) {
+  AnalysisManager AM(M);
+  return runLoadForwarding(M, AM, Options).Changed;
+}
+
+PassResult runDeadStoreElim(Module &M, AnalysisManager &AM,
+                            const OptOptions &Options) {
+  if (!Options.EnableFieldSensitiveProp)
+    return PassResult::unchanged();
+  PassResult Res;
+  // Erasing stores keeps block structure and never touches calls; the
+  // access analysis and liveness are stale afterwards.
+  Res.Preserved = analysis::PreservedAnalyses::cfg().preserve(
+      analysis::AnalysisKind::CallGraph);
+  Res.PerFunction = true;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    const AccessAnalysis &AA =
+        AM.accesses(*F, Options.EnableAssumedMemoryContent);
+    const Reachability &RA = AM.reachability(*F);
+    if (eliminateDeadStores(*F, AA, RA)) {
+      Res.Changed = true;
+      Res.ChangedFunctions.push_back(F.get());
+    }
+  }
+  return Res;
+}
+
+bool runDeadStoreElim(Module &M, const OptOptions &Options) {
+  AnalysisManager AM(M);
+  return runDeadStoreElim(M, AM, Options).Changed;
 }
 
 } // namespace codesign::opt

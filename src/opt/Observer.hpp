@@ -42,6 +42,12 @@ struct PassExecution {
   std::uint64_t Micros = 0; ///< Steady-clock wall time.
   IRSnapshot Before;
   IRSnapshot After;
+  /// Analysis-cache traffic attributable to this pass: cached results it
+  /// consumed, results it had to compute, and cached entries dropped by
+  /// its PreservedAnalyses claim.
+  std::uint64_t AnalysisHits = 0;
+  std::uint64_t AnalysisMisses = 0;
+  std::uint64_t AnalysisInvalidations = 0;
 
   /// Net instructions removed (negative when the pass grew the module,
   /// e.g. inlining).
@@ -66,6 +72,10 @@ struct PipelineSummary {
   std::uint64_t TotalMicros = 0;
   IRSnapshot Before;
   IRSnapshot After;
+  /// Analysis-cache totals across the whole pipeline run.
+  std::uint64_t AnalysisHits = 0;
+  std::uint64_t AnalysisMisses = 0;
+  std::uint64_t AnalysisInvalidations = 0;
 };
 
 /// Observability hooks for one pipeline run. Plain struct: fill in what you

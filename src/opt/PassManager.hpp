@@ -1,0 +1,179 @@
+//===- opt/PassManager.hpp - Pass objects, registry, declarative pipelines -===//
+//
+// LLVM-style pass management sized for this project. Three layers:
+//
+//  * Pass / PassResult: a pass is an object with a name; running it yields
+//    a change flag plus a PreservedAnalyses claim the manager uses to
+//    invalidate the AnalysisManager. Passes that track exactly which
+//    functions they touched (load forwarding, dead-store elimination)
+//    report them so unrelated functions keep their cached analyses.
+//
+//  * PassRegistry: name -> factory. Pipeline text tokens look like
+//    "simplify-cfg" or "globalization-elim[team-scratch]" (the bracket
+//    carries a pass-specific argument).
+//
+//  * PipelineSpec: a declarative stage list replacing the hand-written
+//    sequencing of the old PipelineRun.cpp. Stages are built from
+//    OptOptions (the paper's §IV structure) or parsed from text, and
+//    render back to a canonical string that the kernel cache folds into
+//    its key:
+//
+//      @structural(spmdization,globalization-elim[team-scratch],inliner);
+//      @fixpoint*max(constant-fold,simplify-cfg,...);
+//      @strip-assumes(strip-assumes);@strip-assumes?*4(...);
+//      @barrier-cleanup*4(barrier-elim,simplify-cfg,dce)
+//
+//    `*max` marks THE fixpoint stage (bounded by OptOptions::
+//    MaxFixpointRounds, reported as PipelineSummary::FixpointRounds and
+//    diagnosed when exhausted); `*N` is a fixed bound; `?` gates the stage
+//    on the previous stage having changed something. The shorthand form
+//    "spmdization,inliner,fixpoint(constant-fold,...)" also parses.
+//
+// PassManager::run replicates the old runPipeline observability exactly
+// (per-pass snapshots/timers only when observed, "opt.pass.<name>.us"
+// counters, trace spans, the end-of-pipeline summary) and adds analysis-
+// cache accounting plus the CODESIGN_PRINT_AFTER=<pass> debug dump.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "opt/AnalysisManager.hpp"
+#include "opt/Pipeline.hpp"
+#include "support/Error.hpp"
+
+namespace codesign::opt {
+
+/// Outcome of one pass invocation.
+struct PassResult {
+  bool Changed = false;
+  /// Which cached analyses survive. Ignored (treated as all()) when
+  /// Changed is false.
+  PreservedAnalyses Preserved = PreservedAnalyses::all();
+  /// When PerFunction is set, only the listed functions were mutated and
+  /// invalidation is scoped to them (module-scoped analyses still honor
+  /// Preserved). Otherwise invalidation is module-wide.
+  bool PerFunction = false;
+  std::vector<const ir::Function *> ChangedFunctions;
+
+  /// An unchanged module: everything survives.
+  static PassResult unchanged() { return PassResult{}; }
+  /// A module-wide change preserving PA.
+  static PassResult changed(PreservedAnalyses PA) {
+    PassResult R;
+    R.Changed = true;
+    R.Preserved = PA;
+    return R;
+  }
+};
+
+/// One optimization pass. Instances may hold per-construction arguments
+/// (from the "name[arg]" token) but no per-run state.
+class Pass {
+public:
+  virtual ~Pass() = default;
+  /// Pass name as it appears in observer records and counters (without any
+  /// [arg] suffix).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  virtual PassResult run(ir::Module &M, AnalysisManager &AM,
+                         const OptOptions &Options) = 0;
+};
+
+/// Name -> factory registry for pipeline construction from text.
+class PassRegistry {
+public:
+  /// Factory: instantiate the pass with the (possibly empty) bracket
+  /// argument; null when the argument is not understood.
+  using Factory =
+      std::function<std::unique_ptr<Pass>(const std::string &Arg)>;
+
+  /// The process-wide registry, with all builtin passes registered.
+  static PassRegistry &global();
+
+  /// Register a factory under a base name (overwrites).
+  void registerPass(std::string Name, Factory F);
+  /// True when a factory exists for the token's base name.
+  [[nodiscard]] bool contains(std::string_view Token) const;
+  /// Instantiate from a "base" or "base[arg]" token.
+  [[nodiscard]] Expected<std::unique_ptr<Pass>>
+  create(std::string_view Token) const;
+  /// Registered base names, sorted (diagnostics).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+private:
+  std::map<std::string, Factory, std::less<>> Factories;
+};
+
+/// One pipeline stage: a pass list plus loop/gating structure.
+struct PipelineStage {
+  /// Phase label reported in PassExecution records and remarks.
+  std::string Phase;
+  /// Pass tokens ("base" or "base[arg]").
+  std::vector<std::string> Passes;
+  /// 1 = run each pass once (Round = -1). N > 1 = iterate up to N rounds,
+  /// stopping when a round changes nothing. 0 = the main fixpoint stage:
+  /// iterate up to OptOptions::MaxFixpointRounds, report the round count
+  /// as PipelineSummary::FixpointRounds, and diagnose exhaustion.
+  int MaxRounds = 1;
+  /// Run only when the previous stage changed something.
+  bool OnlyIfPreviousChanged = false;
+};
+
+/// A declarative pipeline: data, not control flow.
+struct PipelineSpec {
+  std::vector<PipelineStage> Stages;
+
+  /// The pipeline the boolean toggles describe (the paper's §IV
+  /// structure); this reproduces the pre-pass-manager hard-coded sequence
+  /// exactly.
+  static PipelineSpec fromOptions(const OptOptions &Options);
+  /// Parse canonical ("@phase?*N(p1,p2);...") or shorthand
+  /// ("p1,p2,fixpoint(p3,p4)") text. Tokens are validated against the
+  /// registry.
+  static Expected<PipelineSpec> parse(std::string_view Text);
+  /// Canonical text form; parse(str()) round-trips. Folded into the
+  /// kernel-cache key.
+  [[nodiscard]] std::string str() const;
+};
+
+/// The effective pipeline for Options: parse Options.Pipeline when set,
+/// else fromOptions.
+Expected<PipelineSpec> resolvePipelineSpec(const OptOptions &Options);
+
+/// Executes a resolved pipeline.
+class PassManager {
+public:
+  /// Instantiate every stage's passes through the registry.
+  static Expected<PassManager> create(const PipelineSpec &Spec);
+
+  /// Append a stage with explicit pass instances (tests inject synthetic
+  /// passes this way).
+  void addStage(PipelineStage Spec, std::vector<std::unique_ptr<Pass>> Passes);
+
+  /// Run the pipeline in place. Returns true when anything changed.
+  bool run(ir::Module &M, const OptOptions &Options) const;
+
+private:
+  PassManager() = default;
+
+  struct Stage {
+    PipelineStage Spec;
+    std::vector<std::unique_ptr<Pass>> Passes;
+  };
+  std::vector<Stage> Stages;
+};
+
+// AnalysisManager-aware entry points of the per-function-tracking passes
+// (the bool-returning wrappers in Pipeline.hpp build a transient manager).
+PassResult runLoadForwarding(ir::Module &M, AnalysisManager &AM,
+                             const OptOptions &Options);
+PassResult runDeadStoreElim(ir::Module &M, AnalysisManager &AM,
+                            const OptOptions &Options);
+
+} // namespace codesign::opt

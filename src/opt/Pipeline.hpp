@@ -40,20 +40,24 @@ struct OptOptions {
   bool KeepAssumes = false;
   /// Upper bound on fixpoint rounds.
   int MaxFixpointRounds = 10;
+  /// Pipeline override: when nonempty, parsed by PipelineSpec::parse and
+  /// used instead of the toggle-derived default (see opt/PassManager.hpp
+  /// for the grammar). The resolved spec is part of the kernel-cache key.
+  std::string Pipeline;
+  /// Differentially verify cached analyses after every pass: recompute
+  /// from scratch, compare, and report (counter
+  /// "opt.analysis.verify.failures" + analysis remarks) any cached result
+  /// an over-broad PreservedAnalyses claim left stale. Expensive; meant
+  /// for tests and debugging.
+  bool VerifyAnalyses = false;
   /// Observability hooks: remark sink plus per-pass timing/IR-delta
   /// callbacks (see opt/Observer.hpp).
   Observer Obs;
-  /// Deprecated shim for the pre-Observer API; prefer Obs.Remarks. Both
-  /// channels feed remarkSink(), so existing call sites keep working.
-  RemarkCollector *Remarks = nullptr;
 
-  /// The effective remark sink, merging the Observer with the legacy
-  /// pointer (Observer wins when both are set).
-  [[nodiscard]] RemarkCollector *remarkSink() const {
-    return Obs.Remarks ? Obs.Remarks : Remarks;
-  }
-  /// Emit a remark to the effective sink, if any. Passes call this instead
-  /// of touching the sink directly.
+  /// The remark sink, if any.
+  [[nodiscard]] RemarkCollector *remarkSink() const { return Obs.Remarks; }
+  /// Emit a remark to the sink, if any. Passes call this instead of
+  /// touching the sink directly.
   void remark(RemarkKind K, std::string Pass, std::string Function,
               std::string Message) const {
     if (RemarkCollector *Sink = remarkSink())
@@ -62,9 +66,7 @@ struct OptOptions {
   /// True when any observation channel is attached. Observed compiles are
   /// not cacheable: a cache hit would skip the pipeline and silently
   /// produce no remarks or pass records.
-  [[nodiscard]] bool observed() const {
-    return Obs.active() || Remarks != nullptr;
-  }
+  [[nodiscard]] bool observed() const { return Obs.active(); }
 
   /// The "nightly" pipeline the paper compares against: the new runtime is
   /// in place but none of this paper's optimizations are (only inlining and
@@ -91,7 +93,12 @@ struct OptOptions {
   }
 };
 
-/// Run the full pipeline in place. Returns true when anything changed.
+/// Run the full pipeline in place: resolve the pipeline spec (the
+/// Options.Pipeline string when set, else the toggle-derived default),
+/// instantiate it through the pass registry, and execute it under a cached
+/// AnalysisManager. Returns true when anything changed. Aborts on an
+/// invalid Options.Pipeline string — callers that take user-supplied
+/// pipelines validate via resolvePipelineSpec first (see PassManager.hpp).
 bool runPipeline(ir::Module &M, const OptOptions &Options = {});
 
 // Individual passes (exposed for unit tests; runPipeline sequences them).

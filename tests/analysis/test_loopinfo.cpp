@@ -1,0 +1,160 @@
+#include "analysis/LoopInfo.hpp"
+#include "ir/IRBuilder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codesign::analysis {
+namespace {
+
+using namespace ir;
+
+TEST(LoopInfo, StraightLineHasNoLoops) {
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Next = F->createBlock("next");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.br(Next);
+  B.setInsertPoint(Next);
+  B.retVoid();
+
+  LoopInfo LI(*F);
+  EXPECT_TRUE(LI.loops().empty());
+  EXPECT_EQ(LI.loopFor(Entry), nullptr);
+  EXPECT_EQ(LI.depth(Entry), 0u);
+}
+
+TEST(LoopInfo, SingleLoop) {
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {Type::i1()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.br(Header);
+  B.setInsertPoint(Header);
+  B.condBr(F->arg(0), Body, Exit);
+  B.setInsertPoint(Body);
+  B.br(Header);
+  B.setInsertPoint(Exit);
+  B.retVoid();
+
+  LoopInfo LI(*F);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops().front();
+  EXPECT_EQ(L.Header, Header);
+  EXPECT_EQ(L.Blocks.front(), Header) << "header leads the RPO block list";
+  EXPECT_TRUE(L.contains(Body));
+  EXPECT_FALSE(L.contains(Entry));
+  EXPECT_FALSE(L.contains(Exit));
+  ASSERT_EQ(L.Latches.size(), 1u);
+  EXPECT_EQ(L.Latches.front(), Body);
+  EXPECT_EQ(LI.loopFor(Body), &L);
+  EXPECT_EQ(LI.loopFor(Header), &L);
+  EXPECT_EQ(LI.loopFor(Exit), nullptr);
+  EXPECT_EQ(LI.depth(Body), 1u);
+  EXPECT_EQ(LI.depth(Entry), 0u);
+}
+
+TEST(LoopInfo, NestedLoops) {
+  // entry -> outer -> inner -> inner (latch) ; inner -> outer (latch) ;
+  // outer -> exit.
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {Type::i1()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Outer = F->createBlock("outer");
+  BasicBlock *Inner = F->createBlock("inner");
+  BasicBlock *InnerLatch = F->createBlock("inner.latch");
+  BasicBlock *OuterLatch = F->createBlock("outer.latch");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.br(Outer);
+  B.setInsertPoint(Outer);
+  B.condBr(F->arg(0), Inner, Exit);
+  B.setInsertPoint(Inner);
+  B.condBr(F->arg(0), InnerLatch, OuterLatch);
+  B.setInsertPoint(InnerLatch);
+  B.br(Inner);
+  B.setInsertPoint(OuterLatch);
+  B.br(Outer);
+  B.setInsertPoint(Exit);
+  B.retVoid();
+
+  LoopInfo LI(*F);
+  ASSERT_EQ(LI.loops().size(), 2u);
+  // Outer headers precede inner headers in RPO.
+  const Loop &LOuter = LI.loops()[0];
+  const Loop &LInner = LI.loops()[1];
+  EXPECT_EQ(LOuter.Header, Outer);
+  EXPECT_EQ(LInner.Header, Inner);
+  EXPECT_TRUE(LOuter.contains(Inner));
+  EXPECT_TRUE(LOuter.contains(InnerLatch));
+  EXPECT_FALSE(LInner.contains(Outer));
+  EXPECT_FALSE(LInner.contains(OuterLatch));
+  EXPECT_EQ(LI.depth(InnerLatch), 2u);
+  EXPECT_EQ(LI.depth(OuterLatch), 1u);
+  EXPECT_EQ(LI.depth(Entry), 0u);
+  EXPECT_EQ(LI.loopFor(InnerLatch), &LInner) << "innermost loop wins";
+  EXPECT_EQ(LI.loopFor(OuterLatch), &LOuter);
+}
+
+TEST(LoopInfo, SharedHeaderLoopsMerge) {
+  // Two back edges into one header form one loop (classical definition).
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {Type::i1()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *LatchA = F->createBlock("latcha");
+  BasicBlock *LatchB = F->createBlock("latchb");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.br(Header);
+  B.setInsertPoint(Header);
+  B.condBr(F->arg(0), LatchA, LatchB);
+  B.setInsertPoint(LatchA);
+  B.br(Header);
+  B.setInsertPoint(LatchB);
+  B.condBr(F->arg(0), Header, Exit);
+  B.setInsertPoint(Exit);
+  B.retVoid();
+
+  LoopInfo LI(*F);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops().front();
+  EXPECT_EQ(L.Latches.size(), 2u);
+  EXPECT_TRUE(L.contains(LatchA));
+  EXPECT_TRUE(L.contains(LatchB));
+  EXPECT_EQ(LI.depth(LatchA), 1u);
+}
+
+TEST(LoopInfo, SharedDominatorTreeMatchesConvenienceCtor) {
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {Type::i1()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.br(Header);
+  B.setInsertPoint(Header);
+  B.condBr(F->arg(0), Header, Exit);
+  B.setInsertPoint(Exit);
+  B.retVoid();
+
+  DominatorTree DT(*F);
+  LoopInfo FromShared(*F, DT);
+  LoopInfo FromOwn(*F);
+  EXPECT_TRUE(FromShared.equivalentTo(FromOwn));
+  ASSERT_EQ(FromShared.loops().size(), 1u);
+  EXPECT_EQ(FromShared.loops().front().Header, Header);
+  EXPECT_EQ(FromShared.loops().front().Latches.front(), Header)
+      << "self-loop: the header is its own latch";
+}
+
+} // namespace
+} // namespace codesign::analysis

@@ -1,0 +1,210 @@
+#include "analysis/PostDominators.hpp"
+#include "ir/IRBuilder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/Rng.hpp"
+
+namespace codesign::analysis {
+namespace {
+
+using namespace ir;
+
+TEST(PostDominators, Diamond) {
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {Type::i1()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Else = F->createBlock("else");
+  BasicBlock *Join = F->createBlock("join");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.condBr(F->arg(0), Then, Else);
+  B.setInsertPoint(Then);
+  B.br(Join);
+  B.setInsertPoint(Else);
+  B.br(Join);
+  B.setInsertPoint(Join);
+  B.retVoid();
+
+  PostDominatorTree PDT(*F);
+  EXPECT_TRUE(PDT.postDominates(Join, Entry));
+  EXPECT_TRUE(PDT.postDominates(Join, Then));
+  EXPECT_TRUE(PDT.postDominates(Join, Else));
+  EXPECT_FALSE(PDT.postDominates(Then, Entry));
+  EXPECT_FALSE(PDT.postDominates(Entry, Join));
+  EXPECT_TRUE(PDT.postDominates(Join, Join)) << "reflexive at block level";
+  EXPECT_EQ(PDT.ipdom(Entry), Join);
+  EXPECT_EQ(PDT.ipdom(Then), Join);
+  EXPECT_EQ(PDT.ipdom(Join), nullptr) << "exit's ipdom is the virtual exit";
+}
+
+TEST(PostDominators, MultipleExits) {
+  // entry -> (t: retA, f: retB): neither return post-dominates entry.
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {Type::i1()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *RetA = F->createBlock("reta");
+  BasicBlock *RetB = F->createBlock("retb");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.condBr(F->arg(0), RetA, RetB);
+  B.setInsertPoint(RetA);
+  B.retVoid();
+  B.setInsertPoint(RetB);
+  B.retVoid();
+
+  PostDominatorTree PDT(*F);
+  EXPECT_FALSE(PDT.postDominates(RetA, Entry));
+  EXPECT_FALSE(PDT.postDominates(RetB, Entry));
+  EXPECT_EQ(PDT.ipdom(Entry), nullptr)
+      << "entry's ipdom is the virtual exit joining both returns";
+  EXPECT_TRUE(PDT.reachesExit(Entry));
+}
+
+TEST(PostDominators, InfiniteLoopReachesNoExit) {
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {Type::i1()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Spin = F->createBlock("spin");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.condBr(F->arg(0), Spin, Exit);
+  B.setInsertPoint(Spin);
+  B.br(Spin);
+  B.setInsertPoint(Exit);
+  B.retVoid();
+
+  PostDominatorTree PDT(*F);
+  EXPECT_FALSE(PDT.reachesExit(Spin));
+  EXPECT_TRUE(PDT.reachesExit(Entry));
+  EXPECT_FALSE(PDT.postDominates(Exit, Spin))
+      << "no exit-reaching path from spin, so nothing post-dominates it";
+  EXPECT_FALSE(PDT.postDominates(Spin, Entry));
+  EXPECT_EQ(PDT.ipdom(Spin), nullptr);
+}
+
+TEST(PostDominators, InstructionLevelOrdering) {
+  Module M;
+  Function *F = M.createFunction("f", Type::i32(), {Type::i32()});
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  auto *A = cast<Instruction>(B.add(F->arg(0), F->arg(0)));
+  auto *C = cast<Instruction>(B.add(A, F->arg(0)));
+  auto *R = B.ret(C);
+  PostDominatorTree PDT(*F);
+  EXPECT_TRUE(PDT.postDominates(C, A));
+  EXPECT_TRUE(PDT.postDominates(R, A));
+  EXPECT_FALSE(PDT.postDominates(A, C));
+  EXPECT_FALSE(PDT.postDominates(A, A)) << "strict at instruction level";
+}
+
+TEST(PostDominators, EquivalentToFreshCopy) {
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {Type::i1()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.condBr(F->arg(0), Body, Exit);
+  B.setInsertPoint(Body);
+  B.br(Exit);
+  B.setInsertPoint(Exit);
+  B.retVoid();
+
+  PostDominatorTree A(*F);
+  PostDominatorTree C(*F);
+  EXPECT_TRUE(A.equivalentTo(C));
+  EXPECT_TRUE(C.equivalentTo(A));
+}
+
+/// Property test: post-dominance agrees with a brute-force oracle ("A
+/// post-dominates B iff removing A disconnects B from every exit") on
+/// random CFGs.
+class PostDominatorsRandomCFG : public ::testing::TestWithParam<int> {};
+
+TEST_P(PostDominatorsRandomCFG, MatchesRemovalOracle) {
+  Rng R(static_cast<std::uint64_t>(GetParam()) + 1000);
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {Type::i1()});
+  const int N = static_cast<int>(R.range(3, 10));
+  std::vector<BasicBlock *> Blocks;
+  for (int I = 0; I < N; ++I)
+    Blocks.push_back(F->createBlock("b" + std::to_string(I)));
+  IRBuilder B(M);
+  for (int I = 0; I < N; ++I) {
+    B.setInsertPoint(Blocks[static_cast<std::size_t>(I)]);
+    if (I == N - 1 || R.chance(0.2)) {
+      B.retVoid();
+    } else if (R.chance(0.5)) {
+      B.br(Blocks[R.below(static_cast<std::uint64_t>(N))]);
+    } else {
+      B.condBr(F->arg(0), Blocks[R.below(static_cast<std::uint64_t>(N))],
+               Blocks[R.below(static_cast<std::uint64_t>(N))]);
+    }
+  }
+  PostDominatorTree PDT(*F);
+
+  // Forward reachability from entry: the analysis only covers blocks the
+  // function can actually execute.
+  std::set<const BasicBlock *> Live;
+  {
+    std::vector<const BasicBlock *> Work{F->entry()};
+    while (!Work.empty()) {
+      const BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (!Live.insert(BB).second)
+        continue;
+      for (BasicBlock *S : BB->successors())
+        Work.push_back(S);
+    }
+  }
+  const auto IsExit = [](const BasicBlock *BB) {
+    return BB->successors().empty();
+  };
+  // Oracle: DFS from BB avoiding a removed block; does any exit remain
+  // reachable?
+  auto exitReachableAvoiding = [&](const BasicBlock *From,
+                                   const BasicBlock *Avoid) {
+    if (From == Avoid)
+      return false;
+    std::set<const BasicBlock *> Seen;
+    std::vector<const BasicBlock *> Work{From};
+    while (!Work.empty()) {
+      const BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (!Seen.insert(BB).second)
+        continue;
+      if (IsExit(BB))
+        return true;
+      for (BasicBlock *S : BB->successors())
+        if (S != Avoid)
+          Work.push_back(S);
+    }
+    return false;
+  };
+  for (BasicBlock *A : Blocks) {
+    for (BasicBlock *BB : Blocks) {
+      if (!Live.count(A) || !Live.count(BB))
+        continue;
+      const bool BothReach = exitReachableAvoiding(BB, nullptr) &&
+                             exitReachableAvoiding(A, nullptr);
+      const bool OracleP =
+          BothReach && ((BB == A) || !exitReachableAvoiding(BB, A));
+      EXPECT_EQ(PDT.postDominates(A, BB), OracleP)
+          << "seed=" << GetParam() << " A=" << A->name()
+          << " B=" << BB->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostDominatorsRandomCFG,
+                         ::testing::Range(0, 25));
+
+} // namespace
+} // namespace codesign::analysis

@@ -1,10 +1,9 @@
 //===- tests/opt/test_observer.cpp - Pipeline observability ----------------===//
 //
 // The opt::Observer contract: per-pass callbacks see timing and IR deltas,
-// the end-of-pipeline summary matches the module, the deprecated raw
-// RemarkCollector pointer still works through the shim, and pass timings
-// flow into support::Counters / the tracer when (and only when) tracing is
-// enabled.
+// the end-of-pipeline summary matches the module, the Obs.Remarks sink
+// receives pipeline remarks, and pass timings flow into support::Counters /
+// the tracer when (and only when) tracing is enabled.
 //
 //===----------------------------------------------------------------------===//
 #include "opt/Pipeline.hpp"
@@ -122,27 +121,16 @@ TEST_F(ObserverTest, FixpointRoundsAreReported) {
   EXPECT_EQ(Summary.After.Instructions, M->instructionCount());
 }
 
-TEST_F(ObserverTest, DeprecatedRemarksPointerStillDelivers) {
+TEST_F(ObserverTest, ObserverRemarkSinkDelivers) {
   auto M = makeModule();
-  RemarkCollector Legacy;
+  RemarkCollector Remarks;
   OptOptions Options;
-  Options.Remarks = &Legacy; // deprecated field, kept as a shim
-  runPipeline(*M, Options);
-  EXPECT_FALSE(Legacy.remarks().empty())
-      << "legacy Remarks pointer must still receive pipeline remarks";
+  Options.Obs.Remarks = &Remarks;
+  EXPECT_EQ(Options.remarkSink(), &Remarks);
   EXPECT_TRUE(Options.observed());
-}
-
-TEST_F(ObserverTest, ObserverRemarksTakePrecedenceOverLegacyField) {
-  RemarkCollector Legacy, Preferred;
-  OptOptions Options;
-  Options.Remarks = &Legacy;
-  Options.Obs.Remarks = &Preferred;
-  EXPECT_EQ(Options.remarkSink(), &Preferred);
-  auto M = makeModule();
   runPipeline(*M, Options);
-  EXPECT_FALSE(Preferred.remarks().empty());
-  EXPECT_TRUE(Legacy.remarks().empty());
+  EXPECT_FALSE(Remarks.remarks().empty())
+      << "the observer remark sink must receive pipeline remarks";
 }
 
 TEST_F(ObserverTest, PassTimingsReachCountersOnlyWhenTracing) {

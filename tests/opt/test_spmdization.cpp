@@ -58,7 +58,7 @@ TEST_F(SpmdizationTest, ConvertsGenericCombinedKernel) {
 
   RemarkCollector Remarks;
   OptOptions Options;
-  Options.Remarks = &Remarks;
+  Options.Obs.Remarks = &Remarks;
   runPipeline(*Emitted->AppModule, Options);
   EXPECT_EQ(Emitted->Kernel->execMode(), ir::ExecMode::SPMD);
   EXPECT_TRUE(ir::verifyModule(*Emitted->AppModule).empty());
@@ -115,7 +115,7 @@ TEST_F(SpmdizationTest, EscapingScratchBlocksConversionWithRemark) {
   ASSERT_TRUE(linkRuntime(*Emitted->AppModule, RuntimeKind::NewRT).hasValue());
   RemarkCollector Remarks;
   OptOptions Options;
-  Options.Remarks = &Remarks;
+  Options.Obs.Remarks = &Remarks;
   runPipeline(*Emitted->AppModule, Options);
   EXPECT_EQ(Emitted->Kernel->execMode(), ir::ExecMode::Generic)
       << "escaping team-shared allocation must block SPMDization";
