@@ -13,6 +13,7 @@
 //     "kernel_cache": { "kernel-cache.hits": n, "kernel-cache.misses": n },
 //     "analysis_cache": { "opt.analysis.<name>.hits": n, ...misses,
 //                         ...invalidations (nonzero entries only) },
+//     "lint": { "opt.lint.runs": n, "opt.lint.<rule>.findings": n, ... },
 //     "counters": { ...remaining process-wide counters... }
 //   }
 //
@@ -155,11 +156,14 @@ public:
     json::Value PassTimings = json::Value::object();
     json::Value Cache = json::Value::object();
     json::Value AnalysisCache = json::Value::object();
+    json::Value Lint = json::Value::object();
     json::Value Other = json::Value::object();
     for (const auto &[Name, Count] : Counters::global().snapshot()) {
       json::Value *Dest = &Other;
       if (Name.rfind("opt.analysis.", 0) == 0)
         Dest = &AnalysisCache;
+      else if (Name.rfind("opt.lint.", 0) == 0)
+        Dest = &Lint;
       else if (Name.rfind("opt.pass.", 0) == 0 ||
                Name.rfind("opt.fixpoint", 0) == 0)
         Dest = &PassTimings;
@@ -170,6 +174,7 @@ public:
     Doc.set("pass_timings", std::move(PassTimings));
     Doc.set("kernel_cache", std::move(Cache));
     Doc.set("analysis_cache", std::move(AnalysisCache));
+    Doc.set("lint", std::move(Lint));
     Doc.set("counters", std::move(Other));
 
     const std::string Path = outputDir() + "/BENCH_" + Bench + ".json";

@@ -14,6 +14,7 @@
 #include "frontend/Driver.hpp"
 #include "frontend/KernelCache.hpp"
 #include "frontend/TargetCompiler.hpp"
+#include "opt/Lint.hpp"
 #include "vgpu/VirtualGPU.hpp"
 
 namespace {
@@ -207,6 +208,25 @@ int main(int argc, char **argv) {
     CODESIGN_ASSERT(AnalysisHits > 0,
                     "analysis cache recorded zero hits across the pipeline "
                     "microbenchmarks");
+    // The shipped kernel must lint clean: run the divergence-aware lint
+    // rules over a freshly compiled module and require zero findings.
+    codesign::vgpu::VirtualGPU GPU;
+    auto CK = codesign::frontend::compileKernel(
+        saxpySpec(registerBody(GPU)),
+        codesign::frontend::CompileOptions::newRTNoAssumptions(),
+        GPU.registry());
+    CODESIGN_ASSERT(CK.hasValue(), "smoke: micro kernel failed to compile");
+    codesign::opt::RemarkCollector Lint;
+    codesign::opt::OptOptions LintOptions;
+    LintOptions.Pipeline = std::string(codesign::opt::LintPipeline);
+    LintOptions.Obs.Remarks = &Lint;
+    codesign::opt::runPipeline(*CK->M, LintOptions);
+    CODESIGN_ASSERT(
+        Lint.filtered(codesign::opt::RemarkKind::Missed).empty(),
+        "smoke: the shipped micro kernel must lint clean");
+    CODESIGN_ASSERT(
+        codesign::Counters::global().value("opt.lint.runs") >= 3,
+        "smoke: the lint rules did not run");
   }
   for (const CapturingReporter::Entry &E : Reporter.Captured) {
     codesign::json::Value &Row = Report.addRow(E.Name);

@@ -56,11 +56,19 @@ bool validate(const std::string &File) {
       return fail(File, "row without a \"name\" string");
   }
   for (const char *Section : {"config", "pass_timings", "kernel_cache",
-                              "analysis_cache", "counters"}) {
+                              "analysis_cache", "lint", "counters"}) {
     const Value *S = Doc->find(Section);
     if (S && !S->isObject())
       return fail(File, "section is present but not an object");
   }
+  // The lint section, when present, holds only opt.lint.* counters.
+  if (const Value *Lint = Doc->find("lint"))
+    for (const auto &[Key, Val] : Lint->members()) {
+      if (Key.rfind("opt.lint.", 0) != 0)
+        return fail(File, "\"lint\" entry without the opt.lint. prefix");
+      if (!Val.isNumber())
+        return fail(File, "\"lint\" entry is not a number");
+    }
   std::printf("%s: ok (%zu rows)\n", File.c_str(), Rows->size());
   return true;
 }

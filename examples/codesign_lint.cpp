@@ -1,0 +1,152 @@
+//===- examples/codesign_lint.cpp - Divergence-aware kernel linting ---------===//
+//
+// Runs the @lint pipeline (barrier-divergence, shared-memory races,
+// assumption misuse) over the proxy applications' compiled kernels and
+// prints every finding — the static complement of the interpreter's
+// dynamic race detector (VirtualGPU::setDetectRaces).
+//
+// Run:  ./codesign_lint            # lint every proxy app (all come back clean)
+//       ./codesign_lint xsbench    # lint one app
+//       ./codesign_lint demo       # seeded buggy kernels, to see findings
+//
+//===----------------------------------------------------------------------===//
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/AppCommon.hpp"
+#include "apps/GridMini.hpp"
+#include "apps/MiniFMM.hpp"
+#include "apps/RSBench.hpp"
+#include "apps/TestSNAP.hpp"
+#include "apps/XSBench.hpp"
+#include "ir/IRBuilder.hpp"
+#include "opt/Lint.hpp"
+#include "opt/Pipeline.hpp"
+#include "vgpu/VirtualGPU.hpp"
+
+using namespace codesign;
+
+namespace {
+
+/// Lint one module; print findings (or "clean") and return their count.
+std::size_t lintModule(ir::Module &M, const std::string &Label) {
+  opt::RemarkCollector Remarks;
+  opt::OptOptions Options;
+  Options.Pipeline = std::string(opt::LintPipeline);
+  Options.Obs.Remarks = &Remarks;
+  opt::runPipeline(M, Options);
+  const auto Findings = Remarks.filtered(opt::RemarkKind::Missed);
+  if (Findings.empty()) {
+    std::printf("%-10s clean\n", Label.c_str());
+  } else {
+    for (const opt::Remark &F : Findings)
+      std::printf("%-10s [%s] %s: %s\n", Label.c_str(), F.Pass.c_str(),
+                  F.Function.c_str(), F.Message.c_str());
+  }
+  return Findings.size();
+}
+
+/// Run one app under the paper's "New RT" build and lint exactly the
+/// module that executed on the virtual device.
+template <typename App, typename Config>
+std::size_t lintApp(const std::string &Label, Config Cfg) {
+  vgpu::VirtualGPU GPU;
+  App A(GPU, Cfg);
+  for (const apps::BuildConfig &Build : apps::paperBuildConfigs(false)) {
+    if (Build.Name != "New RT" && Build.Name != "New RT - w/o Assumptions")
+      continue;
+    apps::AppRunResult R = A.run(Build);
+    if (!R.Ok || !R.Module) {
+      std::printf("%-10s run failed: %s\n", Label.c_str(), R.Error.c_str());
+      return 1;
+    }
+    return lintModule(*R.Module, Label);
+  }
+  return 0;
+}
+
+/// Seeded defects: the divergent aligned barrier and the shared-memory
+/// race from the differential tests, so the linter has something to say.
+std::size_t lintDemo() {
+  using namespace ir;
+  Module M;
+  GlobalVariable *Cell = M.createGlobal("cell", AddrSpace::Shared, 8);
+  Function *K = M.createFunction("buggy", Type::voidTy(), {});
+  K->addAttr(FnAttr::Kernel);
+  BasicBlock *Entry = K->createBlock("entry");
+  BasicBlock *Bar = K->createBlock("bar");
+  BasicBlock *Done = K->createBlock("done");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.store(B.zext(B.threadId(), Type::i64()), Cell); // every thread, own id
+  B.load(Type::i64(), Cell);                        // read back, no barrier
+  B.condBr(B.icmpEQ(B.threadId(), B.i32(0)), Bar, Done);
+  B.setInsertPoint(Bar);
+  B.alignedBarrier(); // only thread 0 arrives: guaranteed deadlock
+  B.br(Done);
+  B.setInsertPoint(Done);
+  B.retVoid();
+  return lintModule(M, "demo");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const std::string Which = argc > 1 ? argv[1] : "all";
+  std::printf("lint pipeline: %s\n\n",
+              std::string(opt::LintPipeline).c_str());
+  std::size_t Findings = 0;
+  bool Matched = false;
+  const auto Want = [&](const char *Name) {
+    const bool W = Which == "all" || Which == Name;
+    Matched |= W;
+    return W;
+  };
+  if (Want("xsbench")) {
+    apps::XSBenchConfig Cfg;
+    Cfg.NLookups = 2048;
+    Cfg.Teams = 16;
+    Findings += lintApp<apps::XSBench>("xsbench", Cfg);
+  }
+  if (Want("rsbench")) {
+    apps::RSBenchConfig Cfg;
+    Cfg.NLookups = 1024;
+    Cfg.Teams = 16;
+    Cfg.Threads = 64;
+    Findings += lintApp<apps::RSBench>("rsbench", Cfg);
+  }
+  if (Want("gridmini")) {
+    apps::GridMiniConfig Cfg;
+    Cfg.Volume = 1024;
+    Cfg.Teams = 8;
+    Findings += lintApp<apps::GridMini>("gridmini", Cfg);
+  }
+  if (Want("testsnap")) {
+    apps::TestSNAPConfig Cfg;
+    Cfg.NAtoms = 64;
+    Cfg.Teams = 32;
+    Findings += lintApp<apps::TestSNAP>("testsnap", Cfg);
+  }
+  if (Want("minifmm")) {
+    apps::MiniFMMConfig Cfg;
+    Cfg.Teams = 16;
+    Findings += lintApp<apps::MiniFMM>("minifmm", Cfg);
+  }
+  if (Which == "demo") {
+    Matched = true;
+    Findings += lintDemo();
+  }
+  if (!Matched) {
+    std::fprintf(stderr,
+                 "usage: %s [all|xsbench|rsbench|gridmini|testsnap|"
+                 "minifmm|demo]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::printf("\n%zu finding(s)\n", Findings);
+  // "all" is the precision bar: the proxy apps must lint clean.
+  return Which == "demo" ? 0 : (Findings ? 1 : 0);
+}

@@ -4,7 +4,7 @@
 // cacheable analysis has an AnalysisKind, and every pass that changes IR
 // reports a PreservedAnalyses set describing which cached results survive
 // the change. Mirrors LLVM's PreservedAnalyses, sized for this project: a
-// fixed bitmask over the seven analyses the optimizer caches (paper §IV
+// fixed bitmask over the eight analyses the optimizer caches (paper §IV
 // runs "multiple times" inside a pass manager precisely because analyses
 // are cached and invalidated, not recomputed per pass).
 //
@@ -25,11 +25,12 @@ enum class AnalysisKind : unsigned {
   Liveness,       ///< analysis::Liveness
   Loops,          ///< analysis::LoopInfo
   Accesses,       ///< opt::AccessAnalysis (field-sensitive, §IV-B1)
+  Divergence,     ///< analysis::DivergenceAnalysis (thread uniformity)
   CallGraph,      ///< analysis::CallGraph (module-scoped)
 };
 
 /// Number of AnalysisKind values (array sizing).
-inline constexpr unsigned NumAnalysisKinds = 7;
+inline constexpr unsigned NumAnalysisKinds = 8;
 
 /// Stable dotted-counter-friendly name ("dominators", "callgraph", ...).
 constexpr std::string_view analysisName(AnalysisKind K) {
@@ -46,6 +47,8 @@ constexpr std::string_view analysisName(AnalysisKind K) {
     return "loops";
   case AnalysisKind::Accesses:
     return "accesses";
+  case AnalysisKind::Divergence:
+    return "divergence";
   case AnalysisKind::CallGraph:
     return "callgraph";
   }
@@ -63,6 +66,8 @@ public:
   /// The CFG-shape analyses survive: dominators, post-dominators,
   /// reachability and loops. The claim of passes that rewrite values or
   /// erase non-terminator instructions without touching block structure.
+  /// Divergence is deliberately absent: it depends on values, not just on
+  /// block shape, so value rewrites can change uniformity.
   static PreservedAnalyses cfg() {
     return PreservedAnalyses(bit(AnalysisKind::Dominators) |
                              bit(AnalysisKind::PostDominators) |

@@ -48,6 +48,10 @@ struct AppRunResult {
   vgpu::LaunchProfile Profile;
   /// Per-phase compile timing; populated only when tracing is enabled.
   frontend::CompilePhaseTiming Compile;
+  /// The compiled (and executed) kernel module. Shared with the image
+  /// slot; treat as read-only. Analysis-only consumers — the lint test
+  /// harness runs the static linter over exactly what ran on the device.
+  std::shared_ptr<ir::Module> Module;
   bool Verified = false;
   /// Application-level throughput in work-items per kilocycle (apps scale
   /// and label this as appropriate: lookups, sites, atom-steps, pairs).

@@ -138,6 +138,7 @@ AppRunResult MiniFMM::run(const BuildConfig &Build) {
   Result.Stats = CK->Stats;
   Result.Compile = CK->Timing;
   const ir::ExecMode Mode = CK->Kernel->execMode();
+  Result.Module = CK->M;
   auto Registered = Images.install(std::move(CK->M));
   if (!Registered) {
     Result.Error = Registered.error().message();

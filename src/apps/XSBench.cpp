@@ -214,6 +214,7 @@ AppRunResult XSBench::run(const BuildConfig &Build) {
   }
   Result.Stats = CK->Stats;
   Result.Compile = CK->Timing;
+  Result.Module = CK->M;
   auto Registered = Images.install(std::move(CK->M));
   if (!Registered) {
     Result.Error = Registered.error().message();

@@ -22,6 +22,7 @@ public:
     if (Errors.empty()) {
       computeDominators();
       checkSSADominance();
+      checkBarrierPlacement();
     }
     return Errors;
   }
@@ -170,6 +171,16 @@ private:
       if (I.numOperands() != 1 || !I.operand(0)->type().isI1())
         typeError("assume/assert");
       break;
+    case Opcode::Barrier:
+    case Opcode::AlignedBarrier:
+      // Barriers are pure rendezvous points: no value/block operands, no
+      // result, and a non-negative id distinguishing barrier sites.
+      if (I.numOperands() != 0 || I.numBlockOperands() != 0 ||
+          !I.type().isVoid())
+        typeError("barrier (operands/result)");
+      else if (I.imm() < 0)
+        typeError("barrier (negative id)");
+      break;
     default:
       break;
     }
@@ -259,6 +270,28 @@ private:
                   "')");
           }
         }
+      }
+    }
+  }
+
+  void checkBarrierPlacement() {
+    // A barrier in a statically-unreachable block can never rendezvous with
+    // the rest of the team; any thread reaching it (via indirect control we
+    // failed to model) would hang forever. Reject at verification time
+    // rather than diagnosing a deadlock at run time.
+    const std::size_t EntryIdx = BlockIndex.at(F.entry());
+    for (const auto &BB : F.blocks()) {
+      // Every reachable block is dominated by the entry; a dominator set
+      // without it marks the block statically unreachable.
+      if (BB.get() == F.entry() ||
+          DomSets[BlockIndex.at(BB.get())].count(EntryIdx) > 0)
+        continue;
+      for (std::size_t Pos = 0; Pos < BB->size(); ++Pos) {
+        const Instruction *I = BB->inst(Pos);
+        if (I->opcode() == Opcode::Barrier ||
+            I->opcode() == Opcode::AlignedBarrier)
+          error("barrier in statically-unreachable block '" + BB->name() +
+                "'");
       }
     }
   }

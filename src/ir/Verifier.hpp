@@ -16,7 +16,10 @@ namespace codesign::ir {
 ///  * operand types match opcode requirements (binops homogeneous, loads
 ///    through pointers, i1 branch conditions, call signatures for direct
 ///    calls, return type agreement);
-///  * SSA dominance: every use is dominated by its definition.
+///  * SSA dominance: every use is dominated by its definition;
+///  * barriers carry no operands, produce no value, have a non-negative
+///    id, and never appear in statically-unreachable blocks (a rendezvous
+///    nobody else can reach is a guaranteed hang).
 /// Returns a list of human-readable violations (empty when valid).
 std::vector<std::string> verifyFunction(const Function &F);
 

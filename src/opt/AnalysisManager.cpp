@@ -70,6 +70,22 @@ const analysis::LoopInfo &AnalysisManager::loops(const ir::Function &F) {
   return *E.LI;
 }
 
+const analysis::DivergenceAnalysis &
+AnalysisManager::divergence(const ir::Function &F) {
+  // Probe before calling postDominators() so a divergence hit does not
+  // also count a post-dominator hit.
+  if (const analysis::DivergenceAnalysis *Cached = Entries[&F].DV.get()) {
+    ++Hits[idx(AnalysisKind::Divergence)];
+    return *Cached;
+  }
+  const analysis::PostDominatorTree &PDT = postDominators(F);
+  FunctionEntry &E = Entries[&F];
+  ++Misses[idx(AnalysisKind::Divergence)];
+  E.DV = std::make_unique<analysis::DivergenceAnalysis>(F, PDT);
+  E.BuiltEpoch = Epoch;
+  return *E.DV;
+}
+
 const AccessAnalysis &AnalysisManager::accesses(ir::Function &F,
                                                 bool CollectAssumes) {
   FunctionEntry &E = Entries[&F];
@@ -116,6 +132,10 @@ bool AnalysisManager::invalidateEntry(FunctionEntry &E,
   if (E.LI && E.LI->invalidatedBy(PA)) {
     countInvalidation(AnalysisKind::Loops);
     E.LI.reset();
+  }
+  if (E.DV && E.DV->invalidatedBy(PA)) {
+    countInvalidation(AnalysisKind::Divergence);
+    E.DV.reset();
   }
   if (E.AA && E.AA->invalidatedBy(PA)) {
     countInvalidation(AnalysisKind::Accesses);
@@ -196,6 +216,10 @@ std::vector<std::string> AnalysisManager::verifyCached() {
       Report(AnalysisKind::Liveness, F);
     if (E.LI && !E.LI->equivalentTo(analysis::LoopInfo(*F)))
       Report(AnalysisKind::Loops, F);
+    if (E.DV &&
+        !E.DV->equivalentTo(
+            analysis::DivergenceAnalysis(*F, analysis::PostDominatorTree(*F))))
+      Report(AnalysisKind::Divergence, F);
     if (E.AA && !E.AA->equivalentTo(AccessAnalysis(*E.MutF, E.AAAssumes)))
       Report(AnalysisKind::Accesses, F);
   }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "analysis/CallGraph.hpp"
+#include "analysis/Divergence.hpp"
 #include "analysis/Dominators.hpp"
 #include "analysis/Liveness.hpp"
 #include "analysis/LoopInfo.hpp"
@@ -51,6 +52,7 @@ public:
   const analysis::Reachability &reachability(const ir::Function &F);
   const analysis::Liveness &liveness(const ir::Function &F);
   const analysis::LoopInfo &loops(const ir::Function &F);
+  const analysis::DivergenceAnalysis &divergence(const ir::Function &F);
   /// Field-sensitive access analysis. A cached result built with a
   /// different CollectAssumes flag counts as a miss and is replaced.
   const AccessAnalysis &accesses(ir::Function &F, bool CollectAssumes);
@@ -102,11 +104,12 @@ private:
     std::unique_ptr<analysis::Reachability> RA;
     std::unique_ptr<analysis::Liveness> LV;
     std::unique_ptr<analysis::LoopInfo> LI;
+    std::unique_ptr<analysis::DivergenceAnalysis> DV;
     std::unique_ptr<AccessAnalysis> AA;
     bool AAAssumes = false;
 
     [[nodiscard]] bool empty() const {
-      return !DT && !PDT && !RA && !LV && !LI && !AA;
+      return !DT && !PDT && !RA && !LV && !LI && !DV && !AA;
     }
   };
 

@@ -9,9 +9,17 @@
 // elimination: removing a barrier may change what such a load observes
 // (GridMini's memory-resident loop bound is the paper's example).
 //
+// The implicit entry/exit barriers only exist for threads that actually
+// execute the block: a block guarded by a divergent branch is reached by
+// part of the team, so treating its trailing barrier as exit-aligned would
+// "eliminate" a barrier that other threads still sit at. Both implicit
+// rules are therefore gated on the DivergenceAnalysis reporting the block
+// as uniformly executed.
+//
 //===----------------------------------------------------------------------===//
 #include <algorithm>
 
+#include "opt/PassManager.hpp"
 #include "opt/Pipeline.hpp"
 
 namespace codesign::opt {
@@ -61,27 +69,40 @@ bool blocksBarrierMerge(const Instruction &I) {
 
 } // namespace
 
-bool runBarrierElim(Module &M, const OptOptions &Options) {
+PassResult runBarrierElim(Module &M, AnalysisManager &AM,
+                          const OptOptions &Options) {
   if (!Options.EnableBarrierElim)
-    return false;
-  bool Changed = false;
+    return PassResult::unchanged();
+  PassResult Result;
+  Result.PerFunction = true;
   for (const auto &F : M.functions()) {
     if (F->isDeclaration())
       continue;
     const bool IsKernel = F->hasAttr(FnAttr::Kernel);
+    // Lazily fetched: most functions have no elimination candidate.
+    const analysis::DivergenceAnalysis *DA = nullptr;
+    auto IsDivergentBlock = [&](const BasicBlock *BB) {
+      if (!DA)
+        DA = &AM.divergence(*F);
+      return DA->isDivergentBlock(BB);
+    };
+    bool FnChanged = false;
     for (const auto &BB : F->blocks()) {
+      std::vector<Instruction *> Dead;
+      // Elimination reasons about team-wide rendezvous points; a block only
+      // part of the team executes has none, and the barriers inside it are
+      // the lint's problem (guaranteed deadlock), not this pass's.
+      if (IsKernel && IsDivergentBlock(BB.get()))
+        continue;
       // "CleanSince": an aligned synchronization point (previous aligned
       // barrier, or the kernel entry for the entry block) with no blocking
       // instruction observed since.
       bool HaveSyncPoint = IsKernel && BB.get() == F->entry();
-      std::vector<Instruction *> Dead;
       for (std::size_t Idx = 0; Idx < BB->size(); ++Idx) {
         Instruction *I = BB->inst(Idx);
         if (I->opcode() == Opcode::AlignedBarrier) {
-          if (HaveSyncPoint) {
+          if (HaveSyncPoint)
             Dead.push_back(I); // redundant: nothing to publish since
-            Changed = true;
-          }
           HaveSyncPoint = true;
           continue;
         }
@@ -95,17 +116,16 @@ bool runBarrierElim(Module &M, const OptOptions &Options) {
           HaveSyncPoint = false;
       }
       // Exit rule: trailing aligned barrier followed only by benign
-      // instructions up to a kernel return.
+      // instructions up to a kernel return. Only valid when every thread
+      // of the team reaches this return together (uniform block).
       if (IsKernel) {
         Instruction *T = BB->terminator();
         if (T && T->opcode() == Opcode::Ret) {
           for (std::size_t Idx = BB->size() - 1; Idx-- > 0;) {
             Instruction *I = BB->inst(Idx);
             if (I->opcode() == Opcode::AlignedBarrier) {
-              if (std::find(Dead.begin(), Dead.end(), I) == Dead.end()) {
+              if (std::find(Dead.begin(), Dead.end(), I) == Dead.end())
                 Dead.push_back(I);
-                Changed = true;
-              }
               break;
             }
             if (blocksBarrierMerge(*I))
@@ -113,11 +133,27 @@ bool runBarrierElim(Module &M, const OptOptions &Options) {
           }
         }
       }
-      for (Instruction *I : Dead)
+      for (Instruction *I : Dead) {
         BB->erase(I);
+        FnChanged = true;
+      }
+    }
+    if (FnChanged) {
+      Result.Changed = true;
+      Result.ChangedFunctions.push_back(F.get());
     }
   }
-  return Changed;
+  if (Result.Changed)
+    Result.Preserved = PreservedAnalyses::cfg()
+                           .preserve(AnalysisKind::Accesses)
+                           .preserve(AnalysisKind::Divergence)
+                           .preserve(AnalysisKind::CallGraph);
+  return Result;
+}
+
+bool runBarrierElim(Module &M, const OptOptions &Options) {
+  AnalysisManager AM(M);
+  return runBarrierElim(M, AM, Options).Changed;
 }
 
 } // namespace codesign::opt

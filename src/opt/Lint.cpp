@@ -1,0 +1,377 @@
+//===- opt/Lint.cpp - Divergence-aware kernel linting ----------------------===//
+#include "opt/Lint.hpp"
+
+#include <chrono>
+#include <unordered_set>
+
+#include "rt/RuntimeABI.hpp"
+#include "support/Stats.hpp"
+#include "support/Trace.hpp"
+
+namespace codesign::opt {
+
+namespace {
+
+using namespace ir;
+
+/// Shared bookkeeping for one rule invocation: counts findings, bumps the
+/// opt.lint.* counters and emits the trace span on destruction.
+class RuleRun {
+public:
+  RuleRun(const char *Rule, const OptOptions &Options)
+      : Rule(Rule), Options(Options),
+        Start(std::chrono::steady_clock::now()) {
+    Counters::global().add("opt.lint.runs");
+  }
+
+  ~RuleRun() {
+    if (Findings)
+      Counters::global().add(std::string("opt.lint.") + Rule + ".findings",
+                             Findings);
+    if (trace::Tracer::global().enabled()) {
+      const auto End = std::chrono::steady_clock::now();
+      trace::Tracer::global().span(
+          "lint", Rule,
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(End -
+                                                                    Start)
+                  .count()),
+          {{"findings", Findings}});
+    }
+  }
+
+  /// Emit one finding as a Missed remark.
+  void finding(const std::string &Function, std::string Message) {
+    ++Findings;
+    Options.remark(RemarkKind::Missed, Rule, Function, std::move(Message));
+  }
+
+private:
+  const char *Rule;
+  const OptOptions &Options;
+  std::chrono::steady_clock::time_point Start;
+  std::uint64_t Findings = 0;
+};
+
+/// Trace a pointer through Gep offsets back to its base object.
+const Value *pointerBase(const Value *P) {
+  while (const auto *I = dynCast<Instruction>(P)) {
+    if (I->opcode() != Opcode::Gep)
+      break;
+    P = I->operand(0);
+  }
+  return P;
+}
+
+/// True when BB->inst(I) is a synchronization point for any I in
+/// [From, To). Every barrier — aligned or not — is a team-wide rendezvous
+/// in this execution model (the dynamic detector opens a new
+/// happens-before epoch at each one), and a call may contain barriers the
+/// per-function scan cannot see (the generic-mode state machine's
+/// __kmpc_* choreography), so both end the current epoch.
+bool syncPointIn(const BasicBlock *BB, std::size_t From, std::size_t To) {
+  for (std::size_t I = From; I < To; ++I) {
+    const Instruction *Inst = BB->inst(I);
+    if (Inst->isBarrier() || Inst->opcode() == Opcode::Call)
+      return true;
+  }
+  return false;
+}
+
+/// True when execution can flow from A to B (exclusive on both ends)
+/// without crossing a synchronization point — the two instructions can
+/// execute in the same barrier epoch, in this order.
+bool syncFreePath(const Instruction *A, const Instruction *B) {
+  const BasicBlock *BA = A->parent();
+  const BasicBlock *BB = B->parent();
+  const std::size_t IA = BA->indexOf(A);
+  const std::size_t IB = BB->indexOf(B);
+  if (BA == BB && IA < IB)
+    if (!syncPointIn(BA, IA + 1, IB))
+      return true;
+  // Cross-block path (covers loops back into the same block): leave BA
+  // after A, traverse only sync-free blocks, enter BB before B.
+  if (syncPointIn(BA, IA + 1, BA->size()))
+    return false;
+  if (syncPointIn(BB, 0, IB))
+    return false;
+  std::vector<const BasicBlock *> Work;
+  for (const BasicBlock *S : BA->successors())
+    Work.push_back(S);
+  std::unordered_set<const BasicBlock *> Seen;
+  while (!Work.empty()) {
+    const BasicBlock *Cur = Work.back();
+    Work.pop_back();
+    if (Cur == BB)
+      return true;
+    if (!Seen.insert(Cur).second)
+      continue;
+    if (syncPointIn(Cur, 0, Cur->size()))
+      continue;
+    for (const BasicBlock *S : Cur->successors())
+      Work.push_back(S);
+  }
+  return false;
+}
+
+/// Where an access sits for diagnostics: "block 'x'" plus the offset bin.
+std::string describeAccess(const MemAccess &A) {
+  std::string Out = A.Kind == AccessKind::Store ? "store" : "load";
+  Out += " at offset " + std::to_string(A.Offset) + " (size " +
+         std::to_string(A.Size) + ") in block '" + A.I->parent()->name() +
+         "'";
+  return Out;
+}
+
+} // namespace
+
+PassResult runLintBarrierDivergence(ir::Module &M, AnalysisManager &AM,
+                                    const OptOptions &Options) {
+  RuleRun Run("lint-barrier-divergence", Options);
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration() || !F->hasAttr(FnAttr::Kernel))
+      continue;
+    const analysis::DivergenceAnalysis &DA = AM.divergence(*F);
+    for (const auto &BB : F->blocks()) {
+      if (!DA.isDivergentBlock(BB.get()))
+        continue;
+      for (const auto &I : BB->instructions()) {
+        if (I->opcode() != Opcode::AlignedBarrier)
+          continue;
+        const Instruction *Branch = DA.divergenceCause(BB.get());
+        std::string Msg = "aligned barrier (id " + std::to_string(I->imm()) +
+                          ") in block '" + BB->name() +
+                          "' is control-dependent on a divergent branch";
+        if (Branch) {
+          Msg += " in block '" + Branch->parent()->name() + "' (condition: " +
+                 DA.provenanceString(Branch->operand(0)) + ")";
+        }
+        Msg += ": threads that skip the block can never rendezvous — "
+               "guaranteed deadlock";
+        Run.finding(F->name(), std::move(Msg));
+      }
+    }
+  }
+  return PassResult::unchanged();
+}
+
+PassResult runLintSharedRace(ir::Module &M, AnalysisManager &AM,
+                             const OptOptions &Options) {
+  RuleRun Run("lint-shared-race", Options);
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration() || !F->hasAttr(FnAttr::Kernel))
+      continue;
+    const AccessAnalysis &AA = AM.accesses(*F, /*CollectAssumes=*/false);
+    const analysis::DivergenceAnalysis &DA = AM.divergence(*F);
+
+    for (const ObjectInfo &O : AA.objects()) {
+      if (O.Space != AddrSpace::Shared || O.isThreadPrivate() ||
+          !O.Analyzable)
+        continue;
+      // Races on write-only objects are unobservable; this is what keeps
+      // the runtime's conditional-write dummy quiet.
+      if (!O.hasReads())
+        continue;
+
+      // Candidate accesses: known offset, unconditional location, plain
+      // load/store (atomics are intended synchronization).
+      std::vector<const MemAccess *> Cands;
+      for (const MemAccess &A : O.Accesses)
+        if (A.OffsetKnown && !A.Conditional &&
+            (A.Kind == AccessKind::Load || A.Kind == AccessKind::Store))
+          Cands.push_back(&A);
+
+      const std::string ObjName =
+          !O.Base->name().empty() ? O.Base->name() : std::string("<shared>");
+
+      // Two accesses may execute in the same barrier epoch when a
+      // sync-free path connects them in either order, or when they sit in
+      // disjoint arms of a divergent branch (threads run both arms
+      // concurrently). The latter only holds while neither arm reaches a
+      // synchronization point — barrier choreography between the arms
+      // (the generic-mode state machine) orders the accesses.
+      auto SameEpoch = [&](const MemAccess &A, const MemAccess &B) {
+        if (syncFreePath(A.I, B.I) || syncFreePath(B.I, A.I))
+          return true;
+        const BasicBlock *PA = A.I->parent();
+        const BasicBlock *PB = B.I->parent();
+        return DA.isDivergentBlock(PA) && DA.isDivergentBlock(PB) &&
+               !syncPointIn(PA, 0, PA->size()) &&
+               !syncPointIn(PB, 0, PB->size());
+      };
+
+      for (std::size_t AI = 0; AI < Cands.size(); ++AI) {
+        const MemAccess &A = *Cands[AI];
+        if (A.Kind != AccessKind::Store)
+          continue;
+
+        // Self race: a store every thread executes (uniform control) with
+        // a per-thread value — threads overwrite each other at one field.
+        if (!DA.isDivergentBlock(A.I->parent()) &&
+            DA.isDivergent(A.Stored)) {
+          Run.finding(F->name(),
+                      "write-write race on shared object '" + ObjName +
+                          "': every thread executes the " +
+                          describeAccess(A) +
+                          " with a divergent value (" +
+                          DA.provenanceString(A.Stored) +
+                          "); the surviving value depends on thread "
+                          "interleaving");
+        }
+
+        for (std::size_t BI = 0; BI < Cands.size(); ++BI) {
+          if (BI == AI)
+            continue;
+          const MemAccess &B = *Cands[BI];
+          // Emit each unordered pair once: stores pair with later stores
+          // and with every load.
+          if (B.Kind == AccessKind::Store && BI < AI)
+            continue;
+          if (!A.overlaps(B.OffsetKnown, B.Offset, B.Size))
+            continue;
+          if (!SameEpoch(A, B))
+            continue;
+
+          if (B.Kind == AccessKind::Store) {
+            // Both threads' program order runs each store; identical
+            // stored values make the outcome interleaving-independent.
+            if (A.Stored == B.Stored)
+              continue;
+            Run.finding(F->name(),
+                        "write-write race on shared object '" + ObjName +
+                            "': " + describeAccess(A) + " and " +
+                            describeAccess(B) +
+                            " store different values with no intervening "
+                            "barrier");
+          } else {
+            // Store/load pair. A uniform-valued, uniformly-executed,
+            // exactly-overlapping store is benign: the load observes the
+            // same bytes regardless of interleaving.
+            const bool DivergentValue = DA.isDivergent(A.Stored);
+            const bool PartialOverlap = !A.exactMatch(B.Offset, B.Size);
+            const bool GuardedWriter = DA.isDivergentBlock(A.I->parent());
+            if (!DivergentValue && !PartialOverlap && !GuardedWriter)
+              continue;
+            Run.finding(F->name(),
+                        "read-write race on shared object '" + ObjName +
+                            "': " + describeAccess(B) +
+                            " can observe the " + describeAccess(A) +
+                            " mid-epoch (no intervening barrier)" +
+                            (DivergentValue
+                                 ? "; stored value is divergent (" +
+                                       DA.provenanceString(A.Stored) + ")"
+                                 : GuardedWriter
+                                       ? "; the store executes under "
+                                         "divergent control"
+                                       : "; the accesses overlap "
+                                         "partially"));
+          }
+        }
+      }
+    }
+  }
+  return PassResult::unchanged();
+}
+
+PassResult runLintAssumeMisuse(ir::Module &M, AnalysisManager &AM,
+                               const OptOptions &Options) {
+  (void)AM;
+  RuleRun Run("lint-assume-misuse", Options);
+  const auto IsStateMachineEntry = [](std::string_view Name) {
+    return Name == rt::ParallelName || Name == rt::WorkFnWaitName ||
+           Name == rt::WorkFnDoneName || Name == rt::WorkFnArgsName;
+  };
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    const bool SpmdKernel =
+        F->hasAttr(FnAttr::Kernel) && F->execMode() == ir::ExecMode::SPMD;
+    for (const auto &BB : F->blocks()) {
+      for (const auto &I : BB->instructions()) {
+        switch (I->opcode()) {
+        case Opcode::Assume: {
+          const auto *C = dynCast<ConstantInt>(I->operand(0));
+          if (C && C->isZero())
+            Run.finding(F->name(),
+                        "assumption in block '" + BB->name() +
+                            "' is statically false: the optimizer would "
+                            "treat everything after it as unreachable");
+          break;
+        }
+        case Opcode::Store: {
+          const auto *G =
+              dynCast<GlobalVariable>(pointerBase(I->pointerOperand()));
+          if (G && G->space() == AddrSpace::Constant) {
+            const bool Oversub = G->name() == rt::AssumeTeamsOversubName ||
+                                 G->name() == rt::AssumeThreadsOversubName;
+            Run.finding(F->name(),
+                        "store to constant-space global '" + G->name() +
+                            "' in block '" + BB->name() + "'" +
+                            (Oversub ? ": contradicts the oversubscription "
+                                       "assumption the optimizer folded "
+                                       "as a compile-time constant"
+                                     : ": constant memory is immutable; "
+                                       "facts derived from it are already "
+                                       "baked into the module"));
+          }
+          break;
+        }
+        case Opcode::Call: {
+          if (!SpmdKernel)
+            break;
+          const Function *Callee = I->calledFunction();
+          if (Callee && IsStateMachineEntry(Callee->name()))
+            Run.finding(F->name(),
+                        "SPMD-mode kernel calls generic-mode state machine "
+                        "entry '" +
+                            Callee->name() + "' in block '" + BB->name() +
+                            "': the SPMD assumption is contradicted by the "
+                            "module");
+          break;
+        }
+        default:
+          break;
+        }
+      }
+    }
+  }
+  return PassResult::unchanged();
+}
+
+namespace {
+
+/// Pass wrapper for one lint rule.
+class LintPass final : public Pass {
+public:
+  using Body = PassResult (*)(ir::Module &, AnalysisManager &,
+                              const OptOptions &);
+  LintPass(const char *Name, Body Fn) : PassName(Name), Fn(Fn) {}
+  [[nodiscard]] std::string_view name() const override { return PassName; }
+  PassResult run(ir::Module &M, AnalysisManager &AM,
+                 const OptOptions &Options) override {
+    return Fn(M, AM, Options);
+  }
+
+private:
+  const char *PassName;
+  Body Fn;
+};
+
+} // namespace
+
+void registerLintPasses(PassRegistry &R) {
+  const auto Register = [&R](const char *Name, LintPass::Body Fn) {
+    R.registerPass(Name,
+                   [Name, Fn](const std::string &Arg)
+                       -> std::unique_ptr<Pass> {
+                     if (!Arg.empty())
+                       return nullptr;
+                     return std::make_unique<LintPass>(Name, Fn);
+                   });
+  };
+  Register("lint-barrier-divergence", runLintBarrierDivergence);
+  Register("lint-shared-race", runLintSharedRace);
+  Register("lint-assume-misuse", runLintAssumeMisuse);
+}
+
+} // namespace codesign::opt

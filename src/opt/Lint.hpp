@@ -1,0 +1,56 @@
+//===- opt/Lint.hpp - Divergence-aware kernel linting ----------------------===//
+//
+// Analysis-only passes that diagnose the misuse the paper's optimizations
+// must assume away: aligned barriers reached by only part of a team
+// (guaranteed deadlock, §IV-C/D preconditions), shared-memory accesses that
+// race between two aligned sync points, and assumptions (SPMD mode,
+// oversubscription, statically-false assumes) the module itself
+// contradicts. Findings are emitted as Missed remarks through the
+// Observer's remark sink, counted under opt.lint.*, and — when tracing is
+// on — recorded as "lint" trace spans. The passes never mutate IR; every
+// invocation returns PassResult::unchanged().
+//
+// The canonical way to run them is the pipeline text
+//   @lint(lint-barrier-divergence,lint-shared-race,lint-assume-misuse)
+// (see LintPipeline) over an already-compiled module, which is what the
+// codesign-lint example binary and the differential tests do.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include "opt/PassManager.hpp"
+
+namespace codesign::opt {
+
+/// Pipeline text running all three lint rules.
+inline constexpr std::string_view LintPipeline =
+    "@lint(lint-barrier-divergence,lint-shared-race,lint-assume-misuse)";
+
+/// Rule 1: an aligned barrier inside a divergence-guarded block deadlocks
+/// the team. One Missed remark per offending barrier, carrying the
+/// divergent branch's provenance chain.
+PassResult runLintBarrierDivergence(ir::Module &M, AnalysisManager &AM,
+                                    const OptOptions &Options);
+
+/// Rule 2: write-write / read-write pairs on the same shared-memory field
+/// with no synchronization point between them (or in disjoint sync-free
+/// arms of a divergent branch). Field-sensitive via AccessAnalysis;
+/// deliberately quiet on write-only objects (the Figure 7b dummy),
+/// conditional-pointer stores (the select-dummy idiom is single-writer),
+/// unknown-offset accesses (per-thread partitioned indexing), and accesses
+/// separated by any barrier or call (calls may synchronize — the
+/// generic-mode state machine choreography).
+PassResult runLintSharedRace(ir::Module &M, AnalysisManager &AM,
+                             const OptOptions &Options);
+
+/// Rule 3: assumptions contradicted by the module itself — statically-false
+/// Assume operands, SPMD-mode kernels calling generic-mode state-machine
+/// entry points, and stores into constant-space configuration globals.
+PassResult runLintAssumeMisuse(ir::Module &M, AnalysisManager &AM,
+                               const OptOptions &Options);
+
+/// Register the three rules with a pass registry (PassRegistry::global()
+/// does this at startup).
+void registerLintPasses(PassRegistry &R);
+
+} // namespace codesign::opt

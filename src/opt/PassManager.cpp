@@ -12,6 +12,7 @@
 #include "opt/PassManager.hpp"
 
 #include "ir/Printer.hpp"
+#include "opt/Lint.hpp"
 #include "support/Stats.hpp"
 #include "support/Trace.hpp"
 
@@ -101,10 +102,16 @@ void registerBuiltins(PassRegistry &R) {
   R.registerPass("spmdization", withOptions("spmdization", runSPMDization,
                                             PreservedAnalyses::none()));
   R.registerPass("barrier-elim",
-                 withOptions("barrier-elim", runBarrierElim,
-                             PreservedAnalyses::cfg()
-                                 .preserve(AnalysisKind::Accesses)
-                                 .preserve(AnalysisKind::CallGraph)));
+                 [](const std::string &Arg) -> std::unique_ptr<Pass> {
+                   if (!Arg.empty())
+                     return nullptr;
+                   return std::make_unique<LambdaPass>(
+                       "barrier-elim",
+                       [](ir::Module &M, AnalysisManager &AM,
+                          const OptOptions &Options) {
+                         return runBarrierElim(M, AM, Options);
+                       });
+                 });
   R.registerPass(
       "globalization-elim",
       [](const std::string &Arg) -> std::unique_ptr<Pass> {
@@ -142,6 +149,7 @@ void registerBuiltins(PassRegistry &R) {
                          return runDeadStoreElim(M, AM, Options);
                        });
                  });
+  registerLintPasses(R);
 }
 
 /// Split Token into base name and bracket argument. Returns false on a

@@ -175,5 +175,10 @@ PassResult runLoadForwarding(ir::Module &M, AnalysisManager &AM,
                              const OptOptions &Options);
 PassResult runDeadStoreElim(ir::Module &M, AnalysisManager &AM,
                             const OptOptions &Options);
+/// Aligned-barrier elimination, divergence-gated: implicit entry/exit
+/// barriers are only trusted in uniformly-executed blocks (consumes the
+/// cached DivergenceAnalysis).
+PassResult runBarrierElim(ir::Module &M, AnalysisManager &AM,
+                          const OptOptions &Options);
 
 } // namespace codesign::opt

@@ -60,6 +60,14 @@ struct DeviceConfig {
   /// waits, team imbalance) for every launch. Off by default: profiling
   /// adds per-instruction work in the interpreter.
   bool CollectProfile = false;
+  /// Dynamic race detection: shadow every shared-memory byte with its last
+  /// reader/writer and the barrier epoch they ran in; two plain accesses to
+  /// the same byte from different threads in the same epoch with at least
+  /// one write trap the launch. Also rejects an aligned-barrier rendezvous
+  /// once any thread of the team has exited (divergent aligned barrier).
+  /// This is the dynamic oracle behind the static lint passes; off by
+  /// default — the shadow map costs per-access work.
+  bool DetectRaces = false;
   CostModel Costs;
 };
 

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "ir/BasicBlock.hpp"
+#include "rt/RuntimeABI.hpp"
 #include "support/ThreadPool.hpp"
 
 namespace codesign::vgpu {
@@ -234,6 +235,20 @@ struct Frame {
   const Instruction *CallSite = nullptr;
 };
 
+/// Per-byte shadow state for the dynamic race detector: who last wrote and
+/// last read this shared byte, and in which barrier epoch. Two plain
+/// accesses from different threads in the same epoch with at least one
+/// write have no happens-before edge (every barrier is a team-wide
+/// rendezvous in this interpreter, so epochs are exactly the HB order).
+struct ShadowCell {
+  std::uint64_t WriteEpoch = 0;
+  std::uint32_t WriteTid = 0;
+  std::uint64_t ReadEpoch = 0;
+  std::uint32_t ReadTid = 0;
+  std::uint32_t ReadTid2 = 0; ///< a second distinct reader (when MultiRead)
+  bool MultiRead = false;     ///< >1 distinct readers this epoch
+};
+
 struct ThreadState {
   std::uint32_t Tid = 0;
   ThreadStatus Status = ThreadStatus::Running;
@@ -261,6 +276,18 @@ public:
     SharedArena.resize(
         std::max<std::uint64_t>(Image.sharedStaticSize(), 1), 0);
     Image.initTeamShared(SharedArena);
+    if (Config.DetectRaces) {
+      // The conditional-write dummy absorbs every thread's non-selected
+      // stores by design (Figure 7b); its write-write collisions are benign
+      // and never read back, so its byte range is exempt from shadowing.
+      if (const ir::GlobalVariable *Dummy =
+              Image.module().findGlobal(rt::DummyName)) {
+        if (Dummy->space() == ir::AddrSpace::Shared) {
+          DummyLo = Image.addressOf(Dummy).offset();
+          DummyHi = DummyLo + Dummy->sizeBytes();
+        }
+      }
+    }
     Threads.reserve(NumThreads);
     for (std::uint32_t T = 0; T < NumThreads; ++T) {
       Threads.emplace_back(Config.LocalMemPerThread);
@@ -335,6 +362,18 @@ private:
                  ": aligned barrier reached with unaligned threads";
       }
     }
+    if (Config.DetectRaces && AlignedAt) {
+      // An aligned barrier promises that *every* thread of the team
+      // arrives; a thread that already returned from the kernel can never
+      // rendezvous, i.e. the barrier sits under divergent control. Real
+      // hardware hangs here — report instead.
+      for (const ThreadState &T : Threads)
+        if (T.Status == ThreadStatus::Done)
+          return "team " + std::to_string(TeamId) +
+                 ": divergent aligned barrier (thread " +
+                 std::to_string(T.Tid) +
+                 " already exited the kernel and can never arrive)";
+    }
     Metrics.Barriers++;
     if (Profile)
       for (const ThreadState &T : Threads)
@@ -349,6 +388,8 @@ private:
       T.Frames.back().InstIdx++; // resume after the barrier
       T.BarrierInst = nullptr;
     }
+    ++BarrierEpoch; // the rendezvous orders all prior accesses before all
+                    // later ones: open a new happens-before interval
     return std::nullopt;
   }
 
@@ -461,10 +502,58 @@ private:
     T.Cycles += Cost;
   }
 
+  /// Dynamic race check for a plain shared-memory access. Returns false
+  /// (after trapping T) when the access races with an earlier one in the
+  /// same barrier epoch. Atomics are intended synchronization and bypass
+  /// this; so does the conditional-write dummy's byte range.
+  bool checkSharedAccess(ThreadState &T, std::uint64_t Off, unsigned Size,
+                         bool IsStore) {
+    if (Off >= DummyLo && Off + Size <= DummyHi && DummyHi > DummyLo)
+      return true;
+    for (std::uint64_t B = Off; B < Off + Size; ++B) {
+      ShadowCell &Cell = SharedShadow[B];
+      if (Cell.WriteEpoch == BarrierEpoch && Cell.WriteTid != T.Tid) {
+        trap(T, "shared-memory race: " +
+                    std::string(IsStore ? "store" : "load") +
+                    " at shared offset " + std::to_string(B) + " by thread " +
+                    std::to_string(T.Tid) + " conflicts with a write by "
+                    "thread " + std::to_string(Cell.WriteTid) +
+                    " in the same barrier interval");
+        return false;
+      }
+      if (IsStore && Cell.ReadEpoch == BarrierEpoch &&
+          (Cell.MultiRead || Cell.ReadTid != T.Tid)) {
+        const std::uint32_t Reader =
+            Cell.ReadTid != T.Tid ? Cell.ReadTid : Cell.ReadTid2;
+        trap(T, "shared-memory race: store at shared offset " +
+                    std::to_string(B) + " by thread " +
+                    std::to_string(T.Tid) + " conflicts with a read by "
+                    "thread " + std::to_string(Reader) +
+                    " in the same barrier interval");
+        return false;
+      }
+      if (IsStore) {
+        Cell.WriteEpoch = BarrierEpoch;
+        Cell.WriteTid = T.Tid;
+      } else if (Cell.ReadEpoch != BarrierEpoch) {
+        Cell.ReadEpoch = BarrierEpoch;
+        Cell.ReadTid = T.Tid;
+        Cell.MultiRead = false;
+      } else if (Cell.ReadTid != T.Tid && !Cell.MultiRead) {
+        Cell.ReadTid2 = T.Tid;
+        Cell.MultiRead = true;
+      }
+    }
+    return true;
+  }
+
   std::uint64_t loadMemory(DeviceAddr A, Type Ty, ThreadState &T) {
     const unsigned Size = Ty.sizeInBytes();
     std::uint8_t *P = resolve(A, Size, T);
     if (!P)
+      return 0;
+    if (Config.DetectRaces && A.space() == MemSpace::Shared &&
+        !checkSharedAccess(T, A.offset(), Size, /*IsStore=*/false))
       return 0;
     std::uint64_t Raw = 0;
     std::memcpy(&Raw, P, Size);
@@ -478,6 +567,9 @@ private:
     const unsigned Size = Ty.sizeInBytes();
     std::uint8_t *P = resolve(A, Size, T);
     if (!P)
+      return;
+    if (Config.DetectRaces && A.space() == MemSpace::Shared &&
+        !checkSharedAccess(T, A.offset(), Size, /*IsStore=*/true))
       return;
     std::memcpy(P, &Bits, Size);
     chargeAccess(T, A.space(), /*IsStore=*/true, /*IsAtomic=*/false, Size);
@@ -577,6 +669,11 @@ private:
   std::vector<std::uint8_t> SharedArena;
   std::vector<ThreadState> Threads;
   std::uint64_t TeamCycles = 0;
+  // Dynamic race detector state (only touched when Config.DetectRaces).
+  // Epochs start at 1 so a zero-initialized ShadowCell never matches.
+  std::uint64_t BarrierEpoch = 1;
+  std::unordered_map<std::uint64_t, ShadowCell> SharedShadow;
+  std::uint64_t DummyLo = 0, DummyHi = 0;
 };
 
 /// Coarse classification for the launch profile's op-class histogram.

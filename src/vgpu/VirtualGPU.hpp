@@ -96,6 +96,10 @@ public:
   /// Toggle launch profiling (LaunchResult::Profile collection).
   void setProfiling(bool On) { Config.CollectProfile = On; }
 
+  /// Toggle the dynamic shared-memory race / divergent-aligned-barrier
+  /// detector (the lint passes' runtime oracle).
+  void setDetectRaces(bool On) { Config.DetectRaces = On; }
+
 private:
   DeviceConfig Config;
   GlobalMemory GM;

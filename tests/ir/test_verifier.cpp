@@ -113,6 +113,68 @@ TEST(Verifier, KernelDeclarationRejectedAtModuleLevel) {
   EXPECT_NE(Errors[0].find("no body"), std::string::npos);
 }
 
+TEST(Verifier, BarrierWithOperandOrResultRejected) {
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {Type::i32()});
+  BasicBlock *BB = F->createBlock("entry");
+  // Bypass the builder: barriers carry no operands and produce no value.
+  auto Bad = std::make_unique<Instruction>(Opcode::AlignedBarrier,
+                                           Type::voidTy());
+  Bad->addOperand(F->arg(0));
+  BB->append(std::move(Bad));
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  B.retVoid();
+  auto Errors = verifyFunction(*F);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("barrier"), std::string::npos);
+}
+
+TEST(Verifier, BarrierWithNegativeIdRejected) {
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {});
+  BasicBlock *BB = F->createBlock("entry");
+  auto Bad = std::make_unique<Instruction>(Opcode::Barrier, Type::voidTy());
+  Bad->setImm(-1);
+  BB->append(std::move(Bad));
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  B.retVoid();
+  auto Errors = verifyFunction(*F);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("negative id"), std::string::npos);
+}
+
+TEST(Verifier, BarrierInUnreachableBlockRejected) {
+  // A barrier nobody can reach is a guaranteed hang for any thread that
+  // somehow arrives; the verifier rejects it statically.
+  Module M;
+  Function *F = M.createFunction("f", Type::voidTy(), {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Orphan = F->createBlock("orphan"); // no predecessors
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.retVoid();
+  B.setInsertPoint(Orphan);
+  B.alignedBarrier();
+  B.retVoid();
+  auto Errors = verifyFunction(*F);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("statically-unreachable"), std::string::npos);
+}
+
+TEST(Verifier, ReachableBarrierAccepted) {
+  Module M;
+  Function *F = M.createFunction("kern", Type::voidTy(), {});
+  F->addAttr(FnAttr::Kernel);
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.barrier(3);
+  B.alignedBarrier(7);
+  B.retVoid();
+  EXPECT_TRUE(verifyFunction(*F).empty());
+}
+
 TEST(Verifier, ValidModulePasses) {
   Module M;
   Function *F = M.createFunction("ok", Type::i32(), {Type::i32()});

@@ -504,6 +504,58 @@ TEST(BarrierElim, UnalignedBarriersNeverRemoved) {
   EXPECT_EQ(Barriers, 2u);
 }
 
+TEST(BarrierElim, DivergentTrailingBarrierNotRemoved) {
+  // A trailing aligned barrier in a block guarded by a divergent branch is
+  // NOT exit-aligned: the threads that skipped the block never arrive, so
+  // "eliminating" it against the implicit kernel-exit barrier would be
+  // miscompilation. The pass must consult the divergence analysis and
+  // refuse.
+  Module M;
+  IRBuilder B(M);
+  Function *K = M.createFunction("kern", Type::voidTy(), {});
+  K->addAttr(FnAttr::Kernel);
+  BasicBlock *Entry = K->createBlock("entry");
+  BasicBlock *Fin = K->createBlock("fin");
+  BasicBlock *Skip = K->createBlock("skip");
+  B.setInsertPoint(Entry);
+  Value *Cond = B.icmpEQ(B.threadId(), B.i32(0));
+  B.condBr(Cond, Fin, Skip);
+  B.setInsertPoint(Fin);
+  B.alignedBarrier();
+  B.retVoid();
+  B.setInsertPoint(Skip);
+  B.retVoid();
+  EXPECT_FALSE(runBarrierElim(M, OptOptions{}));
+  unsigned Barriers = 0;
+  for (const auto &I : Fin->instructions())
+    Barriers += I->isBarrier();
+  EXPECT_EQ(Barriers, 1u) << "divergence-guarded barrier must survive";
+}
+
+TEST(BarrierElim, UniformTrailingBarrierStillRemoved) {
+  // The same shape under a *uniform* branch is safe: every thread takes the
+  // same arm, so the trailing barrier merges with the kernel exit.
+  Module M;
+  IRBuilder B(M);
+  Function *K = M.createFunction("kern", Type::voidTy(), {Type::i1()});
+  K->addAttr(FnAttr::Kernel);
+  BasicBlock *Entry = K->createBlock("entry");
+  BasicBlock *Fin = K->createBlock("fin");
+  BasicBlock *Skip = K->createBlock("skip");
+  B.setInsertPoint(Entry);
+  B.condBr(K->arg(0), Fin, Skip);
+  B.setInsertPoint(Fin);
+  B.alignedBarrier();
+  B.retVoid();
+  B.setInsertPoint(Skip);
+  B.retVoid();
+  EXPECT_TRUE(runBarrierElim(M, OptOptions{}));
+  unsigned Barriers = 0;
+  for (const auto &I : Fin->instructions())
+    Barriers += I->isBarrier();
+  EXPECT_EQ(Barriers, 0u);
+}
+
 TEST(BarrierElim, DisabledByOption) {
   Module M;
   IRBuilder B(M);
