@@ -108,6 +108,9 @@ public:
     Row.set("smem_bytes", json::Value(R.Stats.SharedMemBytes));
     Row.set("code_size", json::Value(R.Stats.CodeSize));
     Row.set("app_metric", json::Value(R.AppMetric));
+    Row.set("wall_us", json::Value(R.WallMicros));
+    if (!R.ExecTier.empty())
+      Row.set("exec_tier", json::Value(R.ExecTier));
     Row.set("compile", timingJson(R.Compile));
     if (R.Profile.Collected)
       Row.set("profile", profileJson(R.Profile));
@@ -139,6 +142,9 @@ public:
     V.set("shared_bytes_written", json::Value(P.SharedBytesWritten));
     V.set("barrier_wait_cycles", json::Value(P.BarrierWaitCycles));
     V.set("teams", json::Value(P.Teams));
+    V.set("team_cycles_min", json::Value(P.teamCyclesMin()));
+    V.set("team_cycles_max", json::Value(P.teamCyclesMax()));
+    V.set("team_cycles_mean", json::Value(P.teamCyclesMean()));
     V.set("team_imbalance", json::Value(P.teamImbalance()));
     return V;
   }

@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <utility>
@@ -56,7 +57,19 @@ struct AppRunResult {
   /// Application-level throughput in work-items per kilocycle (apps scale
   /// and label this as appropriate: lookups, sites, atom-steps, pairs).
   double AppMetric = 0.0;
+  /// Host wall-clock time of the kernel launch, microseconds (steady clock
+  /// around HostRuntime::launch), and the execution tier that produced it.
+  /// Simulated metrics are tier-invariant by construction; WallMicros is
+  /// the real-time cost of producing them, which the bench reports so tier
+  /// speedups are measurable.
+  std::uint64_t WallMicros = 0;
+  std::string ExecTier;
 };
+
+/// Stable spelling of an execution tier for reports and JSON.
+inline const char *execTierName(vgpu::ExecTier Tier) {
+  return Tier == vgpu::ExecTier::Tree ? "tree" : "bytecode";
+}
 
 /// Keeps exactly one compiled app module registered with a HostRuntime.
 /// Apps compile the same kernel name once per build configuration, and the
@@ -68,14 +81,17 @@ public:
   explicit ImageSlot(host::HostRuntime &Host) : Host(Host) {}
 
   /// Register M with the runtime, replacing the previously installed
-  /// module (if any).
-  Expected<void> install(std::shared_ptr<ir::Module> M) {
+  /// module (if any). The compiled kernel's bytecode lowering rides along
+  /// so the device's fast tier never re-lowers at launch.
+  Expected<void>
+  install(std::shared_ptr<ir::Module> M,
+          std::shared_ptr<const vgpu::BytecodeModule> Bytecode = nullptr) {
     if (Current) {
       Host.unregisterImage(*Current);
       Retired.push_back(std::move(Current));
     }
     Current = std::move(M);
-    return Host.registerImage(*Current);
+    return Host.registerImage(*Current, std::move(Bytecode));
   }
 
 private:

@@ -46,13 +46,10 @@ GridMini::GridMini(vgpu::VirtualGPU &GPU, GridMiniConfig Cfg)
         const DeviceAddr V = Ctx.argPtr(2).advance(Site * 18 * 8);
         const DeviceAddr O = Ctx.argPtr(3).advance(Site * 18 * 8);
         double A[18], B[18], C[18];
-        for (int I = 0; I < 18; ++I) {
-          A[I] = Ctx.loadF64(U.advance(I * 8));
-          B[I] = Ctx.loadF64(V.advance(I * 8));
-        }
+        Ctx.loadBlockF64(U, A, 18);
+        Ctx.loadBlockF64(V, B, 18);
         su3mul(A, B, C);
-        for (int I = 0; I < 18; ++I)
-          Ctx.storeF64(O.advance(I * 8), C[I]);
+        Ctx.storeBlockF64(O, C, 18);
         Ctx.chargeCycles(static_cast<std::uint64_t>(GridMini::FlopsPerSite) *
                          2);
       },
@@ -118,7 +115,7 @@ AppRunResult GridMini::run(const BuildConfig &Build) {
   Result.Stats = CK->Stats;
   Result.Compile = CK->Timing;
   Result.Module = CK->M;
-  auto Registered = Images.install(std::move(CK->M));
+  auto Registered = Images.install(std::move(CK->M), CK->Bytecode);
   if (!Registered) {
     Result.Error = Registered.error().message();
     return Result;
@@ -132,7 +129,13 @@ AppRunResult GridMini::run(const BuildConfig &Build) {
       host::KernelArg::mapped(FieldOut.data()),
       host::KernelArg::mapped(BoundBlock.data()),
       host::KernelArg::i64(static_cast<std::int64_t>(Cfg.Volume))};
+  const auto WallStart = std::chrono::steady_clock::now();
   auto LR = Host.launch(CK->Kernel->name(), Args, Cfg.Teams, Cfg.Threads);
+  Result.WallMicros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - WallStart)
+          .count());
+  Result.ExecTier = execTierName(GPU.config().Tier);
   if (!LR || !LR->Ok) {
     Result.Error = LR ? LR->Error : LR.error().message();
     return Result;

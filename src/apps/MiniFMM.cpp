@@ -52,8 +52,7 @@ MiniFMM::MiniFMM(vgpu::VirtualGPU &GPU, MiniFMMConfig Cfg)
             static_cast<std::int64_t>(Team) * this->Cfg.PairsPerTeam + Local;
         double P[8];
         const DeviceAddr Src = Ctx.argPtr(2).advance(Pair * 8 * 8);
-        for (int I = 0; I < 8; ++I)
-          P[I] = Ctx.loadF64(Src.advance(I * 8));
+        Ctx.loadBlockF64(Src, P, 8);
         Ctx.storeF64(Ctx.argPtr(1).advance(Pair * 8), p2p(P));
         Ctx.chargeCycles(90);
       },
@@ -139,7 +138,7 @@ AppRunResult MiniFMM::run(const BuildConfig &Build) {
   Result.Compile = CK->Timing;
   const ir::ExecMode Mode = CK->Kernel->execMode();
   Result.Module = CK->M;
-  auto Registered = Images.install(std::move(CK->M));
+  auto Registered = Images.install(std::move(CK->M), CK->Bytecode);
   if (!Registered) {
     Result.Error = Registered.error().message();
     return Result;
@@ -158,7 +157,13 @@ AppRunResult MiniFMM::run(const BuildConfig &Build) {
       host::KernelArg::mapped(TeamMarks.data()),
       host::KernelArg::mapped(TaskCount.data()),
       host::KernelArg::i64(Cfg.PairsPerTeam)};
+  const auto WallStart = std::chrono::steady_clock::now();
   auto LR = Host.launch(CK->Kernel->name(), Args, Cfg.Teams, Cfg.Threads);
+  Result.WallMicros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - WallStart)
+          .count());
+  Result.ExecTier = execTierName(GPU.config().Tier);
   if (!LR || !LR->Ok) {
     Result.Error = LR ? LR->Error : LR.error().message();
     return Result;

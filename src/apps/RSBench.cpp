@@ -59,7 +59,8 @@ RSBench::RSBench(vgpu::VirtualGPU &GPU, RSBenchConfig Cfg)
         const std::uint32_t Win = static_cast<std::uint32_t>(
             E * this->Cfg.NWindows) % this->Cfg.NWindows;
         double Total = 0.0;
-        std::vector<double> Buf(this->Cfg.NPolesPerWindow * 4);
+        thread_local std::vector<double> Buf;
+        Buf.resize(this->Cfg.NPolesPerWindow * 4);
         for (std::uint32_t K = 0; K < this->Cfg.NNuclidesPerMaterial; ++K) {
           const std::int64_t Nuc = Ctx.loadI64(MatsP.advance(
               (static_cast<std::int64_t>(Mat) * this->Cfg.NNuclidesPerMaterial +
@@ -67,8 +68,8 @@ RSBench::RSBench(vgpu::VirtualGPU &GPU, RSBenchConfig Cfg)
               8));
           const std::int64_t Base =
               ((Nuc * this->Cfg.NWindows + Win) * this->Cfg.NPolesPerWindow) * 4 * 8;
-          for (std::uint32_t J = 0; J < this->Cfg.NPolesPerWindow * 4; ++J)
-            Buf[J] = Ctx.loadF64(PolesP.advance(Base + J * 8));
+          Ctx.loadBlockF64(PolesP.advance(Base), Buf.data(),
+                           this->Cfg.NPolesPerWindow * 4);
           Total += evalPoles(Buf.data(), this->Cfg.NPolesPerWindow, E);
           // ~70 FLOPs per pole, charged as compute (the FLOPs happen
           // natively above).
@@ -146,7 +147,7 @@ AppRunResult RSBench::run(const BuildConfig &Build) {
   Result.Stats = CK->Stats;
   Result.Compile = CK->Timing;
   Result.Module = CK->M;
-  auto Registered = Images.install(std::move(CK->M));
+  auto Registered = Images.install(std::move(CK->M), CK->Bytecode);
   if (!Registered) {
     Result.Error = Registered.error().message();
     return Result;
@@ -159,7 +160,13 @@ AppRunResult RSBench::run(const BuildConfig &Build) {
       host::KernelArg::mapped(Poles.data()),
       host::KernelArg::mapped(MaterialTable.data()),
       host::KernelArg::i64(static_cast<std::int64_t>(Cfg.NLookups))};
+  const auto WallStart = std::chrono::steady_clock::now();
   auto LR = Host.launch(CK->Kernel->name(), Args, Cfg.Teams, Cfg.Threads);
+  Result.WallMicros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - WallStart)
+          .count());
+  Result.ExecTier = execTierName(GPU.config().Tier);
   if (!LR || !LR->Ok) {
     Result.Error = LR ? LR->Error : LR.error().message();
     return Result;

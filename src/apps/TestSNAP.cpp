@@ -56,11 +56,9 @@ TestSNAP::TestSNAP(vgpu::VirtualGPU &GPU, TestSNAPConfig Cfg)
         fillWorkspace(Ctx.loadF64(Pos), Ctx.loadF64(Pos.advance(8)),
                       Ctx.loadF64(Pos.advance(16)), W);
         // Stage through shared memory (charged as shared traffic).
-        for (std::uint32_t I = 0; I < WS; ++I)
-          Ctx.storeF64(Slot.advance(I * 8), W[I]);
+        Ctx.storeBlockF64(Slot, W, WS);
         double R[WS];
-        for (std::uint32_t I = 0; I < WS; ++I)
-          R[I] = Ctx.loadF64(Slot.advance(I * 8));
+        Ctx.loadBlockF64(Slot, R, WS);
         const double F = contract(R);
         Ctx.storeF64(Forces.advance(Pair * 8), F);
         Ctx.chargeCycles(WS * 12); // recurrence + contraction FLOPs
@@ -118,7 +116,7 @@ AppRunResult TestSNAP::run(const BuildConfig &Build) {
   Result.Stats = CK->Stats;
   Result.Compile = CK->Timing;
   Result.Module = CK->M;
-  auto Registered = Images.install(std::move(CK->M));
+  auto Registered = Images.install(std::move(CK->M), CK->Bytecode);
   if (!Registered) {
     Result.Error = Registered.error().message();
     return Result;
@@ -132,7 +130,13 @@ AppRunResult TestSNAP::run(const BuildConfig &Build) {
       host::KernelArg::mapped(Forces.data()),
       host::KernelArg::mapped(Positions.data()),
       host::KernelArg::i64(static_cast<std::int64_t>(NPairs))};
+  const auto WallStart = std::chrono::steady_clock::now();
   auto LR = Host.launch(CK->Kernel->name(), Args, Cfg.Teams, Cfg.Threads);
+  Result.WallMicros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - WallStart)
+          .count());
+  Result.ExecTier = execTierName(GPU.config().Tier);
   if (!LR || !LR->Ok) {
     Result.Error = LR ? LR->Error : LR.error().message();
     return Result;

@@ -50,9 +50,9 @@ double deviceLookup(NativeCtx &Ctx, std::uint64_t Iv, DeviceAddr Grid,
     const std::int64_t Base = (Nuc * static_cast<std::int64_t>(In.NG) +
                                static_cast<std::int64_t>(Lo)) *
                               16;
-    const double A = Ctx.loadF64(XS.advance(Base));
-    const double B = Ctx.loadF64(XS.advance(Base + 8));
-    Total += A * (1.0 - F) + B * F;
+    double AB[2];
+    Ctx.loadBlockF64(XS.advance(Base), AB, 2);
+    Total += AB[0] * (1.0 - F) + AB[1] * F;
   }
   Ctx.chargeCycles(80); // index arithmetic + interpolation FLOPs
   return Total;
@@ -215,7 +215,7 @@ AppRunResult XSBench::run(const BuildConfig &Build) {
   Result.Stats = CK->Stats;
   Result.Compile = CK->Timing;
   Result.Module = CK->M;
-  auto Registered = Images.install(std::move(CK->M));
+  auto Registered = Images.install(std::move(CK->M), CK->Bytecode);
   if (!Registered) {
     Result.Error = Registered.error().message();
     return Result;
@@ -236,7 +236,13 @@ AppRunResult XSBench::run(const BuildConfig &Build) {
   }
   Args.push_back(host::KernelArg::i64(static_cast<std::int64_t>(Cfg.NLookups)));
 
+  const auto WallStart = std::chrono::steady_clock::now();
   auto LR = Host.launch(CK->Kernel->name(), Args, Cfg.Teams, Cfg.Threads);
+  Result.WallMicros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - WallStart)
+          .count());
+  Result.ExecTier = execTierName(GPU.config().Tier);
   if (!LR || !LR->Ok) {
     Result.Error = LR ? LR->Error : LR.error().message();
     return Result;

@@ -5,6 +5,7 @@
 #include "ir/Verifier.hpp"
 #include "opt/PassManager.hpp"
 #include "support/Trace.hpp"
+#include "vgpu/Bytecode.hpp"
 
 #include <chrono>
 
@@ -151,6 +152,9 @@ Expected<CompiledKernel> compileKernel(const KernelSpec &Spec,
   Out.Kernel = CG->Kernel;
   Out.M = std::move(CG->AppModule);
   Out.Stats = vgpu::computeKernelStats(*Out.Kernel, Registry);
+  // Lower to bytecode while the verified module is at hand; the lowering
+  // is immutable and shared by every image (and by cache hits below).
+  Out.Bytecode = vgpu::BytecodeEmitter::lower(*Out.M);
   Timing.StatsMicros = Clock.lap("stats");
   Out.Timing = Timing;
   if (Cacheable)

@@ -16,6 +16,10 @@
 #include "opt/Pipeline.hpp"
 #include "vgpu/KernelStats.hpp"
 
+namespace codesign::vgpu {
+struct BytecodeModule;
+}
+
 namespace codesign::frontend {
 
 /// Combined frontend + optimizer configuration.
@@ -143,6 +147,11 @@ struct CompiledKernel {
   ir::Function *Kernel = nullptr;
   vgpu::KernelStaticStats Stats;
   CompilePhaseTiming Timing;
+  /// The module lowered to the virtual GPU's dense bytecode (the fast
+  /// execution tier). Produced once per compile after verification, cached
+  /// alongside the module, and attached to every image loaded from it so
+  /// launches never re-lower.
+  std::shared_ptr<const vgpu::BytecodeModule> Bytecode;
 };
 
 /// Compile Spec under Options. The registry is consulted for the register

@@ -12,7 +12,9 @@ HostRuntime::~HostRuntime() {
     Device.release(M.Addr);
 }
 
-Expected<void> HostRuntime::registerImage(const ir::Module &M) {
+Expected<void> HostRuntime::registerImage(
+    const ir::Module &M,
+    std::shared_ptr<const vgpu::BytecodeModule> Bytecode) {
   // Validate before mutating anything so a rejected image registers
   // nothing at all.
   for (const auto &F : M.functions())
@@ -20,7 +22,7 @@ Expected<void> HostRuntime::registerImage(const ir::Module &M) {
       return makeError("registerImage: kernel '", F->name(),
                        "' is already registered; unregister the previous "
                        "image first");
-  Images.push_back(Device.loadImage(M));
+  Images.push_back(Device.loadImage(M, std::move(Bytecode)));
   const vgpu::ModuleImage *Img = Images.back().get();
   for (const auto &F : M.functions())
     if (F->hasAttr(ir::FnAttr::Kernel))

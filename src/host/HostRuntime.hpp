@@ -56,8 +56,12 @@ public:
   /// name. The module must outlive this runtime (or be removed with
   /// unregisterImage first). Fails — registering nothing — when any kernel
   /// name in M is already registered: silently overwriting would leave
-  /// launches bound to an ambiguous image.
-  Expected<void> registerImage(const ir::Module &M);
+  /// launches bound to an ambiguous image. A pre-lowered bytecode module
+  /// (CompiledKernel::Bytecode) is attached to the image when provided so
+  /// bytecode-tier launches skip the lazy lowering.
+  Expected<void>
+  registerImage(const ir::Module &M,
+                std::shared_ptr<const vgpu::BytecodeModule> Bytecode = nullptr);
 
   /// Remove every image previously registered from M, dropping its kernel
   /// name bindings. No-op when M was never registered.

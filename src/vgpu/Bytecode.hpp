@@ -1,0 +1,222 @@
+//===- vgpu/Bytecode.hpp - Dense kernel bytecode for the fast tier ---------===//
+//
+// The second execution tier of the virtual GPU. Each compiled module is
+// lowered ONCE into flat, register-allocated bytecode: one dense BCInst
+// array per function, SSA values pre-assigned to integer slots (the same
+// args-then-instructions numbering ModuleImage uses), every operand
+// pre-resolved to a slot index or a constant-pool index, branch targets as
+// instruction indices, and phi nodes compiled into per-edge parallel-copy
+// trampolines. The hottest producer/consumer pairs of the proxy apps'
+// LaunchProfile histograms (address compute + memory access, compare +
+// branch) are fused into superinstructions that keep the architectural
+// metrics of their two components.
+//
+// Lowering also consults analysis::DivergenceAnalysis: instructions of
+// kernel functions that are provably warp-uniform (uniform value, uniform
+// control) carry a flag the BytecodeExecutor uses to execute them once per
+// warp and broadcast the result to the other lanes (see
+// BytecodeExecutor.hpp for the exact execution rules).
+//
+// The bytecode is pure program text: it references ir::GlobalVariable /
+// ir::Function symbols through typed constant-pool entries that each
+// ModuleImage resolves to concrete device addresses, so one lowering is
+// shared by every image (and cached by the frontend's KernelCache next to
+// the optimized module).
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/Module.hpp"
+
+namespace codesign::vgpu {
+
+/// Bytecode operations. Mostly 1:1 with ir::Opcode; the tail adds the
+/// phi-edge trampolines and fused superinstructions.
+enum class BCOp : std::uint8_t {
+  // Integer arithmetic / bitwise (operands in the canonical encoding).
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  UDiv,
+  SRem,
+  URem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+  // Floating point.
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  // Compare / select.
+  ICmp,
+  FCmp,
+  Select,
+  // Conversions.
+  ZExt,
+  SExt,
+  Trunc,
+  SIToFP,
+  FPToSI,
+  FPCast,
+  PtrCast, // PtrToInt / IntToPtr: a canonical-encoding move
+  // Memory.
+  Alloca,
+  Load,
+  Store,
+  Gep,
+  AtomicRMW,
+  CmpXchg,
+  Malloc,
+  Free,
+  // Control flow.
+  Br,
+  CondBr,
+  Ret,
+  Unreachable,
+  Call,
+  // GPU intrinsics.
+  ThreadIdOp,
+  BlockIdOp,
+  BlockDimOp,
+  GridDimOp,
+  WarpSizeOp,
+  // Synchronization.
+  BarrierOp,
+  AlignedBarrierOp,
+  // Metadata.
+  Assume,
+  AssertFail,
+  TrapOp,
+  NativeCall,
+  // Phi-edge trampolines: a parallel copy for one CFG edge, then a jump
+  // into the successor body. Charged like the tree interpreter's en-bloc
+  // phi execution (cycles only, no dynamic-instruction accounting).
+  PhiBundle,
+  // Trampoline for an edge where some phi has no incoming value, or a
+  // mid-block phi (Imm distinguishes; both trap like the tree walker).
+  PhiTrap,
+  // Superinstructions (metrics of both components preserved).
+  GepLoad,  // address compute + load
+  GepStore, // address compute + store
+  CmpBr,    // integer compare + conditional branch
+};
+
+/// Operand references index a frame's unified value array: indices below
+/// NumSlots are argument/instruction slots, indices NumSlots + k read entry
+/// k of the function's resolved constant pool (copied into the frame at
+/// frame setup), so every operand read is a single branchless load.
+/// "No slot" marker for void results.
+inline constexpr std::uint32_t BCNoSlot = 0xFFFFFFFFu;
+/// "No operand" marker (e.g. a void Ret).
+inline constexpr std::uint32_t BCNoRef = 0xFFFFFFFFu;
+
+/// Instruction flag bits.
+inline constexpr std::uint8_t BCFlagWarpUniform = 1u << 0;
+/// Conditional branch whose direction is provably warp-uniform: the warp's
+/// recorder logs one control token and replaying lanes verify it. An
+/// *unflagged* conditional branch ends the warp's uniform prefix for every
+/// lane — the recorder stops logging (instead of filling the log with
+/// tokens no lane can replay past) and replayers fall back to plain
+/// execution.
+inline constexpr std::uint8_t BCFlagUniformBranch = 1u << 1;
+
+/// One bytecode instruction. Fixed layout; operand/branch decoding needs
+/// no IR access on the hot path. Src keeps the originating IR instruction
+/// for the cases that need identity or payload at runtime: barrier
+/// alignment checks, assume/assert trap messages, call argument checks.
+struct BCInst {
+  BCOp Op = BCOp::TrapOp;
+  std::uint8_t TyKind = 0;    ///< ir::TypeKind of the result
+  std::uint8_t SrcTyKind = 0; ///< ir::TypeKind of the source operand
+  std::uint8_t Pred = 0;      ///< ir::CmpPred for compares
+  std::uint8_t Cls = 0;       ///< vgpu::OpClass for the launch profile
+  std::uint8_t Flags = 0;
+  std::uint16_t Size = 0; ///< memory access size in bytes
+  std::uint32_t Dst = BCNoSlot;
+  std::uint32_t A = 0; ///< operand ref (slot or NumSlots+pool index)
+  std::uint32_t B = 0;
+  std::uint32_t C = 0;
+  /// Branch targets as instruction indices; reused as (extras index,
+  /// argument count) for Call/NativeCall, which have no targets.
+  std::uint32_t T0 = 0;
+  std::uint32_t T1 = 0;
+  /// Immediate: Alloca size, AtomicOp, native functor id, phi bundle
+  /// index, PhiTrap kind.
+  std::int64_t Imm = 0;
+  const ir::Instruction *Src = nullptr;
+};
+
+/// A typed constant-pool entry. Literals carry canonical value bits;
+/// global / function entries are resolved per ModuleImage into device
+/// address bits.
+struct BCConst {
+  enum class Kind : std::uint8_t { Lit, Global, Func };
+  Kind K = Kind::Lit;
+  std::uint64_t Bits = 0;
+  const ir::GlobalVariable *G = nullptr;
+  const ir::Function *F = nullptr;
+};
+
+/// One lowered function.
+struct BCFunction {
+  const ir::Function *F = nullptr;
+  std::uint32_t Index = 0; ///< dense index within the BytecodeModule
+  bool HasBody = false;    ///< declarations keep an empty body
+  /// True iff any instruction carries BCFlagWarpUniform. When false the
+  /// executor skips warp record/replay bookkeeping entirely for frames of
+  /// this function — no broadcast could ever fire.
+  bool HasUniform = false;
+  std::uint32_t NumArgs = 0;
+  std::uint32_t NumSlots = 0; ///< frame size (args + non-void results)
+  std::uint32_t Entry = 0;    ///< instruction index of the entry block
+  /// ir::TypeKind of each parameter (argument canonicalization on calls
+  /// without touching the IR).
+  std::vector<std::uint8_t> ArgTyKinds;
+  std::vector<BCInst> Code;
+  std::vector<BCConst> Pool;
+  /// Flattened call/native argument reference lists (BCInst::T0 indexes
+  /// here, BCInst::T1 is the count).
+  std::vector<std::uint32_t> Extras;
+  /// Parallel-copy lists for PhiBundle (BCInst::Imm indexes here). Each
+  /// copy reads Src (a ref) and writes Dst (a slot); all reads happen
+  /// before any write.
+  struct PhiCopy {
+    std::uint32_t Dst = 0;
+    std::uint32_t Src = 0;
+  };
+  std::vector<std::vector<PhiCopy>> Bundles;
+};
+
+/// A module lowered to bytecode. Immutable after construction; shared
+/// between the kernel cache, every ModuleImage of the module, and all
+/// executing teams.
+struct BytecodeModule {
+  const ir::Module *M = nullptr;
+  std::vector<BCFunction> Functions; ///< module function order
+  std::unordered_map<const ir::Function *, std::uint32_t> Index;
+
+  [[nodiscard]] const BCFunction *functionFor(const ir::Function *F) const {
+    auto It = Index.find(F);
+    return It == Index.end() ? nullptr : &Functions[It->second];
+  }
+};
+
+/// One-shot lowering of a whole module.
+class BytecodeEmitter {
+public:
+  /// Lower every function of M (declarations become body-less entries so
+  /// indirect calls to them can trap with the tree walker's message).
+  static std::shared_ptr<const BytecodeModule> lower(const ir::Module &M);
+};
+
+} // namespace codesign::vgpu

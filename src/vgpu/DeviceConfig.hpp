@@ -27,6 +27,18 @@ struct CostModel {
   std::uint32_t MallocCost = 800; ///< device heap allocation
 };
 
+/// Which engine executes kernel launches. Both tiers implement the exact
+/// same observable semantics — outputs, trap messages, metrics and
+/// profiles are bit-identical — so the slow tier doubles as a differential
+/// oracle for the fast one (tests/vgpu/test_bytecode.cpp).
+enum class ExecTier : std::uint8_t {
+  /// Walk the IR instruction tree directly (the original engine).
+  Tree,
+  /// Execute dense register-allocated bytecode lowered once per module,
+  /// with warp-batched broadcast of provably uniform instructions.
+  Bytecode,
+};
+
 /// Static device shape.
 struct DeviceConfig {
   std::uint32_t NumSMs = 8;                 ///< streaming multiprocessors
@@ -68,6 +80,10 @@ struct DeviceConfig {
   /// This is the dynamic oracle behind the static lint passes; off by
   /// default — the shadow map costs per-access work.
   bool DetectRaces = false;
+  /// Execution engine. Bytecode is the default; the tree walker remains
+  /// selectable (VirtualGPU honors the CODESIGN_EXEC_TIER environment
+  /// variable) for differential testing and as the semantic reference.
+  ExecTier Tier = ExecTier::Bytecode;
   CostModel Costs;
 };
 

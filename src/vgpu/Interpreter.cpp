@@ -1,5 +1,7 @@
 #include "vgpu/Interpreter.hpp"
 
+#include "vgpu/BytecodeExecutor.hpp"
+#include "vgpu/IntOps.hpp"
 #include "vgpu/KernelStats.hpp"
 
 #include <atomic>
@@ -190,7 +192,8 @@ DeviceAddr ModuleImage::addressOf(const GlobalVariable *G) const {
 void ModuleImage::initTeamShared(std::vector<std::uint8_t> &Arena) const {
   CODESIGN_ASSERT(Arena.size() >= SharedSize, "shared arena too small");
   std::fill(Arena.begin(), Arena.end(), 0);
-  std::memcpy(Arena.data(), SharedInit.data(), SharedInit.size());
+  if (!SharedInit.empty())
+    std::memcpy(Arena.data(), SharedInit.data(), SharedInit.size());
 }
 
 DeviceAddr ModuleImage::functionAddress(const Function *F) const {
@@ -790,64 +793,64 @@ void TeamExecutor::stepThread(ThreadState &T) {
     case Opcode::LShr:
     case Opcode::AShr: {
       const Type Ty = I->type();
-      const std::int64_t A = static_cast<std::int64_t>(opI(0));
-      const std::int64_t B = static_cast<std::int64_t>(opI(1));
-      const std::uint64_t UA = zextToWidth(Ty, opI(0));
-      const std::uint64_t UB = zextToWidth(Ty, opI(1));
+      // Canonical (sign-extended) and width-adjusted (zero-extended)
+      // operand views. All arithmetic runs through intops:: so signed
+      // overflow and INT64_MIN / -1 have the defined wrapping semantics
+      // shared with the bytecode tier (DESIGN.md section 5).
+      const std::uint64_t A = opI(0);
+      const std::uint64_t B = opI(1);
+      const std::uint64_t UA = zextToWidth(Ty, A);
+      const std::uint64_t UB = zextToWidth(Ty, B);
       std::uint64_t R = 0;
       std::uint32_t Cost = C.Alu;
       const unsigned ShMask = Ty.kind() == TypeKind::I32 ? 31 : 63;
       switch (I->opcode()) {
       case Opcode::Add:
-        R = static_cast<std::uint64_t>(A + B);
+        R = intops::addWrap(A, B);
         break;
       case Opcode::Sub:
-        R = static_cast<std::uint64_t>(A - B);
+        R = intops::subWrap(A, B);
         break;
       case Opcode::Mul:
-        R = static_cast<std::uint64_t>(A * B);
+        R = intops::mulWrap(A, B);
         Cost = C.Mul;
         break;
       case Opcode::SDiv:
-        if (B == 0) {
+        if (!intops::sdiv(A, B, R)) {
           trap(T, "integer division by zero");
           return;
         }
-        R = static_cast<std::uint64_t>(A / B);
         Cost = C.Div;
         break;
       case Opcode::UDiv:
-        if (UB == 0) {
+        if (!intops::udiv(UA, UB, R)) {
           trap(T, "integer division by zero");
           return;
         }
-        R = UA / UB;
         Cost = C.Div;
         break;
       case Opcode::SRem:
-        if (B == 0) {
+        if (!intops::srem(A, B, R)) {
           trap(T, "integer remainder by zero");
           return;
         }
-        R = static_cast<std::uint64_t>(A % B);
         Cost = C.Div;
         break;
       case Opcode::URem:
-        if (UB == 0) {
+        if (!intops::urem(UA, UB, R)) {
           trap(T, "integer remainder by zero");
           return;
         }
-        R = UA % UB;
         Cost = C.Div;
         break;
       case Opcode::And:
-        R = static_cast<std::uint64_t>(A & B);
+        R = A & B;
         break;
       case Opcode::Or:
-        R = static_cast<std::uint64_t>(A | B);
+        R = A | B;
         break;
       case Opcode::Xor:
-        R = static_cast<std::uint64_t>(A ^ B);
+        R = A ^ B;
         break;
       case Opcode::Shl:
         R = UA << (UB & ShMask);
@@ -856,8 +859,7 @@ void TeamExecutor::stepThread(ThreadState &T) {
         R = UA >> (UB & ShMask);
         break;
       case Opcode::AShr:
-        R = static_cast<std::uint64_t>(
-            A >> static_cast<std::int64_t>(UB & ShMask));
+        R = intops::ashr(A, static_cast<unsigned>(UB & ShMask));
         break;
       default:
         CODESIGN_UNREACHABLE("not an int binop");
@@ -1007,7 +1009,7 @@ void TeamExecutor::stepThread(ThreadState &T) {
       const double D = decodeF(I->operand(0)->type(), opI(0));
       setResult(I, F,
                 canonInt(I->type(),
-                         static_cast<std::uint64_t>(static_cast<std::int64_t>(D))));
+                         static_cast<std::uint64_t>(intops::fpToI64(D))));
       T.Cycles += C.FAlu;
       break;
     }
@@ -1071,7 +1073,9 @@ void TeamExecutor::stepThread(ThreadState &T) {
         std::int64_t New = 0;
         switch (Op) {
         case AtomicOp::Add:
-          New = OldS + V;
+          // Wrapping add (signed overflow on int64 would be UB).
+          New = static_cast<std::int64_t>(intops::addWrap(
+              OldC, static_cast<std::uint64_t>(V)));
           break;
         case AtomicOp::Max:
           New = std::max(OldS, V);
@@ -1364,14 +1368,33 @@ LaunchResult KernelLauncher::launch(const ModuleImage &Image,
     std::uint64_t Cycles = 0;
   };
   std::vector<TeamOutcome> Outcomes(NumTeams);
+  // Bytecode tier: materialize the module's lowering and this image's
+  // resolved constant pools once, before the team fan-out (the lazy cache
+  // is mutex-guarded, but paying the lowering under contention would skew
+  // the first team's wall time).
+  const BytecodeModule *BC = nullptr;
+  const std::vector<std::vector<std::uint64_t>> *BCPools = nullptr;
+  if (Config.Tier == ExecTier::Bytecode) {
+    BC = &Image.bytecode();
+    BCPools = &Image.bytecodePools();
+  }
   const auto RunTeam = [&](std::uint64_t Team) {
     TeamOutcome &Out = Outcomes[Team];
-    TeamExecutor Exec(Config, GM, Registry, Image,
-                      static_cast<std::uint32_t>(Team), NumTeams, NumThreads,
-                      Kernel, Args, Out.Metrics,
-                      Config.CollectProfile ? &Out.Profile : nullptr);
-    Out.Err = Exec.run();
-    Out.Cycles = Exec.teamCycles();
+    if (BC) {
+      BCTeamResult R = runBytecodeTeam(
+          Config, GM, Registry, Image, *BC, *BCPools,
+          static_cast<std::uint32_t>(Team), NumTeams, NumThreads, Kernel,
+          Args, Out.Metrics, Config.CollectProfile ? &Out.Profile : nullptr);
+      Out.Err = std::move(R.Err);
+      Out.Cycles = R.Cycles;
+    } else {
+      TeamExecutor Exec(Config, GM, Registry, Image,
+                        static_cast<std::uint32_t>(Team), NumTeams, NumThreads,
+                        Kernel, Args, Out.Metrics,
+                        Config.CollectProfile ? &Out.Profile : nullptr);
+      Out.Err = Exec.run();
+      Out.Cycles = Exec.teamCycles();
+    }
     Out.Ran = true;
   };
   const std::uint32_t Workers = std::min<std::uint32_t>(

@@ -12,6 +12,8 @@
 //===----------------------------------------------------------------------===//
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -24,6 +26,8 @@
 #include "vgpu/NativeRegistry.hpp"
 
 namespace codesign::vgpu {
+
+struct BytecodeModule;
 
 using ir::Function;
 using ir::GlobalVariable;
@@ -75,7 +79,21 @@ public:
   };
   [[nodiscard]] const FunctionLayout &layout(const Function *F) const;
 
+  /// Attach a pre-lowered bytecode module (the frontend caches one lowering
+  /// per compiled kernel and shares it across images). Ignored after the
+  /// image has already materialized a lowering of its own.
+  void setBytecode(std::shared_ptr<const BytecodeModule> BC) const;
+  /// The module's bytecode; lowered on first use when none was attached.
+  /// Definitions live in Bytecode.cpp.
+  [[nodiscard]] const BytecodeModule &bytecode() const;
+  /// Per-function constant pools with global/function symbols resolved to
+  /// this image's device addresses, indexed by BCFunction::Index.
+  [[nodiscard]] const std::vector<std::vector<std::uint64_t>> &
+  bytecodePools() const;
+
 private:
+  void materializeBytecodeLocked() const;
+
   const Module &M;
   GlobalMemory &GM;
   std::unordered_map<const GlobalVariable *, DeviceAddr> GlobalAddrs;
@@ -86,6 +104,12 @@ private:
   std::vector<const Function *> FunctionsByIndex;
   std::unordered_map<const Function *, std::uint32_t> FunctionIndex;
   std::unordered_map<const Function *, FunctionLayout> Layouts;
+  // Bytecode tier state: lazily materialized, guarded for the parallel
+  // launch engine (mutable so a const image can serve launches).
+  mutable std::mutex BCMutex;
+  mutable std::shared_ptr<const BytecodeModule> BCMod;
+  mutable std::vector<std::vector<std::uint64_t>> BCPools;
+  mutable bool BCPoolsReady = false;
 };
 
 /// Outcome of a kernel launch.

@@ -125,6 +125,21 @@ struct LaunchProfile {
       TeamCyclesMax = Cycles;
     TeamCyclesTotal += Cycles;
   }
+  /// Minimum team cycle total. TeamCyclesMin itself holds a UINT64_MAX
+  /// sentinel until the first addTeam() call; this accessor reports 0 for
+  /// a profile with no teams so serialized reports never contain the
+  /// sentinel. Always read the minimum through here.
+  [[nodiscard]] std::uint64_t teamCyclesMin() const {
+    return Teams == 0 ? 0 : TeamCyclesMin;
+  }
+  /// Maximum team cycle total (0 when no teams were recorded).
+  [[nodiscard]] std::uint64_t teamCyclesMax() const { return TeamCyclesMax; }
+  /// Mean team cycle total (0.0 when no teams were recorded).
+  [[nodiscard]] double teamCyclesMean() const {
+    if (Teams == 0)
+      return 0.0;
+    return static_cast<double>(TeamCyclesTotal) / static_cast<double>(Teams);
+  }
   /// Max/mean team cycles (1.0 = perfectly balanced; 0 when empty).
   [[nodiscard]] double teamImbalance() const {
     if (Teams == 0 || TeamCyclesTotal == 0)

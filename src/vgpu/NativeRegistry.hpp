@@ -79,6 +79,24 @@ public:
     storeBits(A, static_cast<std::uint64_t>(static_cast<std::uint32_t>(V)), 4);
   }
 
+  /// Load Count contiguous f64 elements starting at A into Out. The cost
+  /// model charges, launch metrics, and bounds behavior are exactly those
+  /// of Count scalar loadF64 calls; an executor may implement the copy en
+  /// bloc as long as that contract holds.
+  virtual void loadBlockF64(DeviceAddr A, double *Out, std::uint32_t Count) {
+    for (std::uint32_t I = 0; I < Count; ++I)
+      Out[I] = loadF64(A.advance(static_cast<std::int64_t>(I) * 8));
+  }
+
+  /// Store Count contiguous f64 elements from In starting at A. Same
+  /// contract as loadBlockF64: charges and metrics of Count scalar
+  /// storeF64 calls, en-bloc implementation permitted.
+  virtual void storeBlockF64(DeviceAddr A, const double *In,
+                             std::uint32_t Count) {
+    for (std::uint32_t I = 0; I < Count; ++I)
+      storeF64(A.advance(static_cast<std::int64_t>(I) * 8), In[I]);
+  }
+
   /// Charge pure compute cycles (ALU/FPU work done natively).
   virtual void chargeCycles(std::uint64_t Cycles) = 0;
 

@@ -7,7 +7,9 @@
 //===----------------------------------------------------------------------===//
 #pragma once
 
+#include <cstdlib>
 #include <memory>
+#include <string_view>
 
 #include "vgpu/Interpreter.hpp"
 
@@ -17,7 +19,18 @@ namespace codesign::vgpu {
 class VirtualGPU {
 public:
   explicit VirtualGPU(DeviceConfig Config = {})
-      : Config(std::move(Config)), GM(this->Config.GlobalMemBytes) {}
+      : Config(std::move(Config)), GM(this->Config.GlobalMemBytes) {
+    // Runtime knob for differential runs: CODESIGN_EXEC_TIER=tree|bytecode
+    // overrides the configured execution engine without recompiling the
+    // harness (bench/ and the tier-differential tests rely on this).
+    if (const char *Env = std::getenv("CODESIGN_EXEC_TIER")) {
+      const std::string_view V(Env);
+      if (V == "tree" || V == "interp" || V == "interpreter")
+        this->Config.Tier = ExecTier::Tree;
+      else if (V == "bytecode" || V == "bc")
+        this->Config.Tier = ExecTier::Bytecode;
+    }
+  }
 
   /// Device configuration (read-only after construction).
   [[nodiscard]] const DeviceConfig &config() const { return Config; }
@@ -64,9 +77,17 @@ public:
   // --- Images and launches ---------------------------------------------------
 
   /// Prepare a module for execution (global layout + initialization).
-  /// The module must outlive the image.
-  std::unique_ptr<ModuleImage> loadImage(const Module &M) {
-    return std::make_unique<ModuleImage>(M, GM);
+  /// The module must outlive the image. A pre-lowered bytecode module (the
+  /// frontend caches one per compiled kernel) can be attached so the
+  /// bytecode tier skips re-lowering; when absent, the image lowers lazily
+  /// on the first bytecode-tier launch.
+  std::unique_ptr<ModuleImage>
+  loadImage(const Module &M,
+            std::shared_ptr<const BytecodeModule> Bytecode = nullptr) {
+    auto Image = std::make_unique<ModuleImage>(M, GM);
+    if (Bytecode)
+      Image->setBytecode(std::move(Bytecode));
+    return Image;
   }
 
   /// Launch a kernel by function pointer.
@@ -99,6 +120,10 @@ public:
   /// Toggle the dynamic shared-memory race / divergent-aligned-barrier
   /// detector (the lint passes' runtime oracle).
   void setDetectRaces(bool On) { Config.DetectRaces = On; }
+
+  /// Select the execution engine (see DeviceConfig::Tier). Overrides any
+  /// CODESIGN_EXEC_TIER environment setting applied at construction.
+  void setExecTier(ExecTier Tier) { Config.Tier = Tier; }
 
 private:
   DeviceConfig Config;

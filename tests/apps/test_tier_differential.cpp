@@ -1,0 +1,132 @@
+//===- tests/apps/test_tier_differential.cpp - Bytecode vs. tree, end to end -===//
+//
+// The bytecode tier's contract at application scale: every proxy app under
+// every paper build configuration reports bit-identical outputs, metrics,
+// and profiles whether the device executes the tree-walking interpreter or
+// the warp-batched bytecode. Structurally a sibling of test_determinism.cpp
+// (serial vs. parallel); here the independent variable is the execution
+// engine itself, so the whole compiler + runtime stack becomes a
+// differential oracle for the new tier.
+//
+//===----------------------------------------------------------------------===//
+#include "apps/GridMini.hpp"
+#include "apps/MiniFMM.hpp"
+#include "apps/RSBench.hpp"
+#include "apps/TestSNAP.hpp"
+#include "apps/XSBench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace codesign::apps {
+namespace {
+
+vgpu::DeviceConfig withTier(vgpu::ExecTier Tier) {
+  vgpu::DeviceConfig C;
+  C.CollectProfile = true;
+  C.Tier = Tier;
+  return C;
+}
+
+void expectIdenticalProfiles(const vgpu::LaunchProfile &A,
+                             const vgpu::LaunchProfile &B,
+                             const std::string &Build) {
+  ASSERT_TRUE(A.Collected) << Build;
+  ASSERT_TRUE(B.Collected) << Build;
+  for (std::size_t I = 0; I < vgpu::NumOpClasses; ++I)
+    EXPECT_EQ(A.OpCounts[I], B.OpCounts[I])
+        << Build << ": op class "
+        << vgpu::opClassName(static_cast<vgpu::OpClass>(I));
+  EXPECT_EQ(A.GlobalBytesRead, B.GlobalBytesRead) << Build;
+  EXPECT_EQ(A.GlobalBytesWritten, B.GlobalBytesWritten) << Build;
+  EXPECT_EQ(A.SharedBytesRead, B.SharedBytesRead) << Build;
+  EXPECT_EQ(A.SharedBytesWritten, B.SharedBytesWritten) << Build;
+  EXPECT_EQ(A.BarrierWaitCycles, B.BarrierWaitCycles) << Build;
+  EXPECT_EQ(A.Teams, B.Teams) << Build;
+  EXPECT_EQ(A.teamCyclesMin(), B.teamCyclesMin()) << Build;
+  EXPECT_EQ(A.teamCyclesMax(), B.teamCyclesMax()) << Build;
+  EXPECT_EQ(A.TeamCyclesTotal, B.TeamCyclesTotal) << Build;
+}
+
+void expectIdentical(const AppRunResult &T, const AppRunResult &C,
+                     const std::string &Build) {
+  ASSERT_TRUE(T.Ok) << Build << " (tree): " << T.Error;
+  ASSERT_TRUE(C.Ok) << Build << " (bytecode): " << C.Error;
+  EXPECT_TRUE(T.Verified) << Build;
+  EXPECT_TRUE(C.Verified) << Build;
+  EXPECT_EQ(T.AppMetric, C.AppMetric)
+      << Build << ": app metric must be bit-identical across tiers";
+  const vgpu::LaunchMetrics &A = T.Metrics, &B = C.Metrics;
+  EXPECT_EQ(A.KernelCycles, B.KernelCycles) << Build;
+  EXPECT_EQ(A.DynamicInstructions, B.DynamicInstructions) << Build;
+  EXPECT_EQ(A.GlobalLoads, B.GlobalLoads) << Build;
+  EXPECT_EQ(A.GlobalStores, B.GlobalStores) << Build;
+  EXPECT_EQ(A.SharedLoads, B.SharedLoads) << Build;
+  EXPECT_EQ(A.SharedStores, B.SharedStores) << Build;
+  EXPECT_EQ(A.LocalAccesses, B.LocalAccesses) << Build;
+  EXPECT_EQ(A.Atomics, B.Atomics) << Build;
+  EXPECT_EQ(A.Barriers, B.Barriers) << Build;
+  EXPECT_EQ(A.Calls, B.Calls) << Build;
+  EXPECT_EQ(A.NativeCycles, B.NativeCycles) << Build;
+  EXPECT_EQ(A.DeviceMallocs, B.DeviceMallocs) << Build;
+  EXPECT_EQ(A.SharedStackPeak, B.SharedStackPeak) << Build;
+  EXPECT_EQ(A.TeamsPerSM, B.TeamsPerSM) << Build;
+  expectIdenticalProfiles(T.Profile, C.Profile, Build);
+}
+
+/// Run AppT under every paper build config on a tree-tier and a
+/// bytecode-tier device and require bit-identical outcomes.
+template <typename AppT, typename ConfigT>
+void checkApp(const ConfigT &Cfg, bool IncludeAssumed = true) {
+  vgpu::VirtualGPU TreeGPU(withTier(vgpu::ExecTier::Tree));
+  vgpu::VirtualGPU BCGPU(withTier(vgpu::ExecTier::Bytecode));
+  // Pin past any ambient CODESIGN_EXEC_TIER override.
+  TreeGPU.setExecTier(vgpu::ExecTier::Tree);
+  BCGPU.setExecTier(vgpu::ExecTier::Bytecode);
+  AppT TreeApp(TreeGPU, Cfg);
+  AppT BCApp(BCGPU, Cfg);
+  for (const BuildConfig &B : paperBuildConfigs(IncludeAssumed)) {
+    AppRunResult T = TreeApp.run(B);
+    AppRunResult C = BCApp.run(B);
+    expectIdentical(T, C, B.Name);
+  }
+}
+
+TEST(TierDifferential, XSBenchAllBuilds) {
+  XSBenchConfig Cfg;
+  Cfg.NLookups = 1024;
+  Cfg.Teams = 8;
+  Cfg.Threads = 128;
+  checkApp<XSBench>(Cfg);
+}
+
+TEST(TierDifferential, RSBenchAllBuilds) {
+  RSBenchConfig Cfg;
+  Cfg.NLookups = 4096;
+  Cfg.Teams = 16;
+  Cfg.Threads = 64;
+  checkApp<RSBench>(Cfg, /*IncludeAssumed=*/false);
+}
+
+TEST(TierDifferential, GridMiniAllBuilds) {
+  GridMiniConfig Cfg;
+  Cfg.Volume = 512;
+  Cfg.Teams = 8;
+  Cfg.Threads = 128;
+  checkApp<GridMini>(Cfg);
+}
+
+TEST(TierDifferential, TestSNAPAllBuilds) {
+  TestSNAPConfig Cfg;
+  Cfg.NAtoms = 32;
+  Cfg.Teams = 16;
+  checkApp<TestSNAP>(Cfg);
+}
+
+TEST(TierDifferential, MiniFMMAllBuilds) {
+  MiniFMMConfig Cfg;
+  Cfg.Teams = 8;
+  checkApp<MiniFMM>(Cfg);
+}
+
+} // namespace
+} // namespace codesign::apps
