@@ -14,7 +14,9 @@
 //     "analysis_cache": { "opt.analysis.<name>.hits": n, ...misses,
 //                         ...invalidations (nonzero entries only) },
 //     "lint": { "opt.lint.runs": n, "opt.lint.<rule>.findings": n, ... },
-//     "counters": { ...remaining process-wide counters... }
+//     "counters": { ...remaining process-wide counters... },
+//     ...bench-specific sections via setSection (e.g. soak_service's
+//     "service" object with throughput/latency/queue/cache summaries)...
 //   }
 //
 // Rows produced from an AppRunResult carry build flavor, cycles, registers,
@@ -33,6 +35,7 @@
 #include <fstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "BenchCommon.hpp"
 #include "support/Json.hpp"
@@ -76,6 +79,20 @@ public:
 
   /// Bench-level workload parameters ("config" object).
   json::Value &config() { return Config; }
+
+  /// Attach a bench-specific top-level section (e.g. the soak bench's
+  /// "service" object with throughput/latency/queue/cache summaries). The
+  /// object must be fully built; later sets of the same name replace the
+  /// earlier section. Reserved names (schema, bench, rows, ...) lose to the
+  /// standard sections at write time.
+  void setSection(std::string Name, json::Value V) {
+    for (auto &[Existing, Val] : Sections)
+      if (Existing == Name) {
+        Val = std::move(V);
+        return;
+      }
+    Sections.emplace_back(std::move(Name), std::move(V));
+  }
 
   /// Append a row; every row carries at least its "name".
   json::Value &addRow(std::string Name) {
@@ -154,6 +171,8 @@ public:
   /// returns 1 on I/O failure, so benches can `return Report.write();`.
   int write() {
     json::Value Doc = json::Value::object();
+    for (auto &[Name, V] : Sections)
+      Doc.set(Name, std::move(V));
     Doc.set("schema", json::Value("codesign-bench/1"));
     Doc.set("bench", json::Value(Bench));
     Doc.set("smoke", json::Value(smokeMode()));
@@ -199,6 +218,7 @@ private:
   std::string Bench;
   json::Value Config;
   json::Value Rows;
+  std::vector<std::pair<std::string, json::Value>> Sections;
 };
 
 } // namespace codesign::bench

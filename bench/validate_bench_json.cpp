@@ -69,6 +69,56 @@ bool validate(const std::string &File) {
       if (!Val.isNumber())
         return fail(File, "\"lint\" entry is not a number");
     }
+  // The service section (soak_service): throughput, latency percentiles,
+  // queue health and per-shard cache stats must all be present and typed.
+  if (const Value *Svc = Doc->find("service")) {
+    if (!Svc->isObject())
+      return fail(File, "\"service\" is present but not an object");
+    for (const char *Num : {"clients", "requests", "throughput_rps"}) {
+      const Value *V = Svc->find(Num);
+      if (!V || !V->isNumber())
+        return fail(File, "\"service\" missing a numeric scalar field");
+    }
+    const Value *Latency = Svc->find("latency_us");
+    if (!Latency || !Latency->isObject())
+      return fail(File, "\"service\" missing the \"latency_us\" object");
+    for (const char *P : {"p50", "p95", "p99", "mean", "count"}) {
+      const Value *V = Latency->find(P);
+      if (!V || !V->isNumber())
+        return fail(File, "\"service.latency_us\" missing a percentile");
+    }
+    const Value *Queue = Svc->find("queue");
+    if (!Queue || !Queue->isObject())
+      return fail(File, "\"service\" missing the \"queue\" object");
+    for (const char *Q : {"peak_depth", "mean_depth", "enqueued", "rejected"}) {
+      const Value *V = Queue->find(Q);
+      if (!V || !V->isNumber())
+        return fail(File, "\"service.queue\" missing a depth statistic");
+    }
+    const Value *Cache = Svc->find("cache");
+    if (!Cache || !Cache->isObject())
+      return fail(File, "\"service\" missing the \"cache\" object");
+    for (const char *CF : {"distinct_kernels", "misses", "hits", "coalesced"}) {
+      const Value *V = Cache->find(CF);
+      if (!V || !V->isNumber())
+        return fail(File, "\"service.cache\" missing a counter");
+    }
+    const Value *Flight = Cache->find("single_flight_ok");
+    if (!Flight || !Flight->isBool())
+      return fail(File, "\"service.cache\" missing \"single_flight_ok\"");
+    const Value *Shards = Cache->find("shards");
+    if (!Shards || !Shards->isArray() || Shards->size() == 0)
+      return fail(File, "\"service.cache.shards\" missing or empty");
+    for (const Value &Shard : Shards->elements()) {
+      if (!Shard.isObject())
+        return fail(File, "\"service.cache.shards\" entry is not an object");
+      for (const char *SF : {"hits", "misses", "coalesced", "entries"}) {
+        const Value *V = Shard.find(SF);
+        if (!V || !V->isNumber())
+          return fail(File, "cache shard entry missing a counter");
+      }
+    }
+  }
   std::printf("%s: ok (%zu rows)\n", File.c_str(), Rows->size());
   return true;
 }

@@ -87,7 +87,8 @@ public:
   install(std::shared_ptr<ir::Module> M,
           std::shared_ptr<const vgpu::BytecodeModule> Bytecode = nullptr) {
     if (Current) {
-      Host.unregisterImage(*Current);
+      if (auto Out = Host.unregisterImage(*Current); !Out)
+        return Out;
       Retired.push_back(std::move(Current));
     }
     Current = std::move(M);

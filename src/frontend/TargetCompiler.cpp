@@ -78,6 +78,18 @@ CompileOptions CompileOptions::cuda() {
   return O;
 }
 
+namespace {
+
+/// The actual pipeline: codegen, link, verify, optimize, stats, bytecode.
+/// Split out so the cached path can run it under single-flight dedup.
+Expected<CompiledKernel> compileUncached(const KernelSpec &Spec,
+                                         const CompileOptions &Options,
+                                         const vgpu::NativeRegistry &Registry,
+                                         const opt::OptOptions &OptCfg,
+                                         const opt::PipelineSpec &Pipeline);
+
+} // namespace
+
 Expected<CompiledKernel> compileKernel(const KernelSpec &Spec,
                                        const CompileOptions &Options,
                                        const vgpu::NativeRegistry &Registry) {
@@ -102,23 +114,46 @@ Expected<CompiledKernel> compileKernel(const KernelSpec &Spec,
   // effect, so such requests must actually compile.
   const bool Cacheable = Options.UseKernelCache && !Options.Opt.observed();
   trace::Tracer &Tracer = trace::Tracer::global();
-  std::string Key;
-  if (Cacheable) {
-    Key = KernelCache::key(Spec, Options, Registry, PipelineStr);
-    if (auto Cached = KernelCache::global().lookup(Key)) {
-      // The stored timing belongs to the compile that populated the entry;
-      // this request paid only the lookup.
-      Cached->Timing = CompilePhaseTiming{};
-      Cached->Timing.CacheHit = true;
-      if (Tracer.enabled())
-        Tracer.instant("frontend", "kernel-cache.hit");
-      return *Cached;
-    }
+  if (!Cacheable) {
     if (Tracer.enabled())
-      Tracer.instant("frontend", "kernel-cache.miss");
-  } else if (Tracer.enabled()) {
-    Tracer.instant("frontend", "kernel-cache.bypass");
+      Tracer.instant("frontend", "kernel-cache.bypass");
+    return compileUncached(Spec, Options, Registry, OptCfg, Pipeline);
   }
+  // Single-flight through the sharded cache: when many threads request the
+  // same key concurrently (the service's compile storms), exactly one runs
+  // compileUncached and the rest share its result.
+  const std::string Key = KernelCache::key(Spec, Options, Registry,
+                                           PipelineStr);
+  KernelCache::Outcome Outcome = KernelCache::Outcome::Miss;
+  auto Result = KernelCache::global().getOrCompile(
+      Key,
+      [&] { return compileUncached(Spec, Options, Registry, OptCfg,
+                                   Pipeline); },
+      &Outcome);
+  if (!Result)
+    return Result;
+  if (Outcome != KernelCache::Outcome::Miss) {
+    // The stored timing belongs to the compile that populated the entry;
+    // this request paid only the lookup (or the coalesced wait).
+    Result->Timing = CompilePhaseTiming{};
+    Result->Timing.CacheHit = true;
+  }
+  if (Tracer.enabled())
+    Tracer.instant("frontend",
+                   Outcome == KernelCache::Outcome::Hit ? "kernel-cache.hit"
+                   : Outcome == KernelCache::Outcome::Coalesced
+                       ? "kernel-cache.coalesced"
+                       : "kernel-cache.miss");
+  return Result;
+}
+
+namespace {
+
+Expected<CompiledKernel> compileUncached(const KernelSpec &Spec,
+                                         const CompileOptions &Options,
+                                         const vgpu::NativeRegistry &Registry,
+                                         const opt::OptOptions &OptCfg,
+                                         const opt::PipelineSpec &Pipeline) {
   CompilePhaseTiming Timing;
   PhaseClock Clock;
   auto CG = emitKernel(Spec, Options.CG);
@@ -157,9 +192,9 @@ Expected<CompiledKernel> compileKernel(const KernelSpec &Spec,
   Out.Bytecode = vgpu::BytecodeEmitter::lower(*Out.M);
   Timing.StatsMicros = Clock.lap("stats");
   Out.Timing = Timing;
-  if (Cacheable)
-    KernelCache::global().insert(Key, Out);
   return Out;
 }
+
+} // namespace
 
 } // namespace codesign::frontend

@@ -15,6 +15,7 @@ HostRuntime::~HostRuntime() {
 Expected<void> HostRuntime::registerImage(
     const ir::Module &M,
     std::shared_ptr<const vgpu::BytecodeModule> Bytecode) {
+  std::lock_guard<std::mutex> Lock(ImagesMutex);
   // Validate before mutating anything so a rejected image registers
   // nothing at all.
   for (const auto &F : M.functions())
@@ -22,31 +23,49 @@ Expected<void> HostRuntime::registerImage(
       return makeError("registerImage: kernel '", F->name(),
                        "' is already registered; unregister the previous "
                        "image first");
-  Images.push_back(Device.loadImage(M, std::move(Bytecode)));
-  const vgpu::ModuleImage *Img = Images.back().get();
+  ImageRec Rec;
+  Rec.Image = Device.loadImage(M, std::move(Bytecode));
+  Rec.InFlight = std::make_shared<std::atomic<std::uint32_t>>(0);
+  const vgpu::ModuleImage *Img = Rec.Image.get();
   for (const auto &F : M.functions())
     if (F->hasAttr(ir::FnAttr::Kernel))
-      Kernels[F->name()] = KernelEntry{Img, F.get()};
+      Kernels[F->name()] = KernelEntry{Img, F.get(), Rec.InFlight};
+  Images.push_back(std::move(Rec));
   return {};
 }
 
-void HostRuntime::unregisterImage(const ir::Module &M) {
+Expected<void> HostRuntime::unregisterImage(const ir::Module &M) {
+  std::lock_guard<std::mutex> Lock(ImagesMutex);
+  bool Found = false;
+  for (const ImageRec &Rec : Images) {
+    if (&Rec.Image->module() != &M)
+      continue;
+    Found = true;
+    if (const std::uint32_t Running = Rec.InFlight->load())
+      return makeError("unregisterImage: module has ", std::to_string(Running),
+                       " in-flight launch(es); wait for them to complete "
+                       "before unregistering");
+  }
+  if (!Found)
+    return makeError("unregisterImage: module was never registered (or was "
+                     "already unregistered)");
   for (auto It = Kernels.begin(); It != Kernels.end();) {
     if (&It->second.Image->module() == &M)
       It = Kernels.erase(It);
     else
       ++It;
   }
-  std::erase_if(Images, [&](const std::unique_ptr<vgpu::ModuleImage> &Img) {
-    return &Img->module() == &M;
+  std::erase_if(Images, [&](const ImageRec &Rec) {
+    return &Rec.Image->module() == &M;
   });
+  return {};
 }
 
 Expected<DeviceAddr> HostRuntime::enterData(const void *HostPtr,
                                             std::uint64_t Size, bool CopyTo) {
   if (!HostPtr || Size == 0)
     return makeError("enterData: null pointer or zero size");
-  std::lock_guard<std::mutex> Lock(Mutex);
+  std::lock_guard<std::mutex> Lock(TableMutex);
   auto It = Table.find(HostPtr);
   if (It != Table.end()) {
     if (It->second.Size != Size)
@@ -69,8 +88,8 @@ Expected<DeviceAddr> HostRuntime::enterData(const void *HostPtr,
   return M.Addr;
 }
 
-Expected<bool> HostRuntime::exitData(void *HostPtr, bool CopyFrom) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+Expected<void> HostRuntime::exitData(void *HostPtr, bool CopyFrom) {
+  std::lock_guard<std::mutex> Lock(TableMutex);
   auto It = Table.find(HostPtr);
   if (It == Table.end())
     return makeError("exitData: pointer is not mapped");
@@ -82,33 +101,33 @@ Expected<bool> HostRuntime::exitData(void *HostPtr, bool CopyFrom) {
     Device.release(M.Addr);
     Table.erase(It);
   }
-  return true;
+  return {};
 }
 
-Expected<bool> HostRuntime::updateTo(const void *HostPtr) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+Expected<void> HostRuntime::updateTo(const void *HostPtr) {
+  std::lock_guard<std::mutex> Lock(TableMutex);
   auto It = Table.find(HostPtr);
   if (It == Table.end())
     return makeError("updateTo: pointer is not mapped");
   Device.write(It->second.Addr,
                std::span(static_cast<const std::uint8_t *>(HostPtr),
                          It->second.Size));
-  return true;
+  return {};
 }
 
-Expected<bool> HostRuntime::updateFrom(void *HostPtr) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+Expected<void> HostRuntime::updateFrom(void *HostPtr) {
+  std::lock_guard<std::mutex> Lock(TableMutex);
   auto It = Table.find(HostPtr);
   if (It == Table.end())
     return makeError("updateFrom: pointer is not mapped");
   Device.read(It->second.Addr,
               std::span(static_cast<std::uint8_t *>(HostPtr),
                         It->second.Size));
-  return true;
+  return {};
 }
 
 Expected<DeviceAddr> HostRuntime::lookup(const void *HostPtr) const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  std::lock_guard<std::mutex> Lock(TableMutex);
   auto It = Table.find(HostPtr);
   if (It == Table.end())
     return makeError("lookup: pointer is not mapped");
@@ -116,22 +135,34 @@ Expected<DeviceAddr> HostRuntime::lookup(const void *HostPtr) const {
 }
 
 bool HostRuntime::isPresent(const void *HostPtr) const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  std::lock_guard<std::mutex> Lock(TableMutex);
   return Table.find(HostPtr) != Table.end();
 }
 
-Expected<LaunchResult> HostRuntime::launch(std::string_view KernelName,
-                                           std::span<const KernelArg> Args,
-                                           std::uint32_t NumTeams,
-                                           std::uint32_t NumThreads) {
-  auto It = Kernels.find(KernelName);
-  if (It == Kernels.end())
-    return makeError("launch: no registered kernel named '",
-                     std::string(KernelName), "'");
+Expected<LaunchResult> HostRuntime::launch(const LaunchRequest &Request) {
+  if (auto Valid = Request.validate(); !Valid)
+    return Valid.error();
+  // Resolve and pin the kernel's image: with the entry copied out and the
+  // in-flight count raised, unregisterImage refuses to drop the image while
+  // the launch below runs outside the lock.
+  KernelEntry Entry;
+  {
+    std::lock_guard<std::mutex> Lock(ImagesMutex);
+    auto It = Kernels.find(Request.Kernel);
+    if (It == Kernels.end())
+      return makeError("launch: no registered kernel named '", Request.Kernel,
+                       "'");
+    Entry = It->second;
+    Entry.InFlight->fetch_add(1);
+  }
+  struct Unpin {
+    std::atomic<std::uint32_t> &Count;
+    ~Unpin() { Count.fetch_sub(1); }
+  } Unpin{*Entry.InFlight};
   std::vector<std::uint64_t> Bits;
-  Bits.reserve(Args.size());
-  for (std::size_t Idx = 0; Idx < Args.size(); ++Idx) {
-    const KernelArg &A = Args[Idx];
+  Bits.reserve(Request.Args.size());
+  for (std::size_t Idx = 0; Idx < Request.Args.size(); ++Idx) {
+    const KernelArg &A = Request.Args[Idx];
     switch (A.K) {
     case KernelArg::Kind::I64:
       Bits.push_back(static_cast<std::uint64_t>(A.I));
@@ -145,7 +176,7 @@ Expected<LaunchResult> HostRuntime::launch(std::string_view KernelName,
     case KernelArg::Kind::MappedPtr: {
       auto Addr = lookup(A.HostPtr);
       if (!Addr)
-        return makeError("launch '", std::string(KernelName), "': argument #",
+        return makeError("launch '", Request.Kernel, "': argument #",
                          std::to_string(Idx),
                          " is not device-mapped (map it with enterData "
                          "first): ",
@@ -155,8 +186,9 @@ Expected<LaunchResult> HostRuntime::launch(std::string_view KernelName,
     }
     }
   }
-  LaunchResult R = Device.launch(*It->second.Image, It->second.Kernel, Bits,
-                                 NumTeams, NumThreads);
+  LaunchResult R = Device.launch(*Entry.Image, Entry.Kernel, Bits,
+                                 Request.Config.NumTeams,
+                                 Request.Config.NumThreads);
   return R;
 }
 

@@ -7,17 +7,26 @@
 // counts (target enter/exit/update data) and kernel launches that marshal
 // scalar arguments and translate mapped host pointers to device addresses.
 //
+// All entry points are safe to call concurrently: the present table and the
+// image/kernel tables are guarded independently, and launches pin their
+// image with an in-flight count so unregisterImage cannot pull a module out
+// from under a running kernel (it reports the conflict instead). This is
+// what lets the multi-tenant service (src/service) drive one runtime from
+// many worker threads.
+//
 //===----------------------------------------------------------------------===//
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
-#include <variant>
 #include <vector>
 
+#include "host/LaunchRequest.hpp"
 #include "support/Error.hpp"
 #include "vgpu/VirtualGPU.hpp"
 
@@ -25,22 +34,6 @@ namespace codesign::host {
 
 using vgpu::DeviceAddr;
 using vgpu::LaunchResult;
-
-/// One kernel argument from the host's perspective.
-struct KernelArg {
-  enum class Kind { I64, F64, MappedPtr };
-  Kind K = Kind::I64;
-  std::int64_t I = 0;
-  double F = 0.0;
-  const void *HostPtr = nullptr;
-
-  static KernelArg i64(std::int64_t V) { return {Kind::I64, V, 0.0, nullptr}; }
-  static KernelArg f64(double V) { return {Kind::F64, 0, V, nullptr}; }
-  /// A pointer previously mapped with enterData; translated at launch.
-  static KernelArg mapped(const void *P) {
-    return {Kind::MappedPtr, 0, 0.0, P};
-  }
-};
 
 /// Host-side OpenMP offloading runtime over one virtual device.
 class HostRuntime {
@@ -64,8 +57,10 @@ public:
                 std::shared_ptr<const vgpu::BytecodeModule> Bytecode = nullptr);
 
   /// Remove every image previously registered from M, dropping its kernel
-  /// name bindings. No-op when M was never registered.
-  void unregisterImage(const ir::Module &M);
+  /// name bindings. Fails without unregistering anything when M was never
+  /// registered (the caller's bookkeeping is off) or when any of M's
+  /// kernels is still executing (an in-flight launch holds the image).
+  Expected<void> unregisterImage(const ir::Module &M);
 
   // --- Data mapping (present table, reference counted) ----------------------
 
@@ -77,13 +72,15 @@ public:
 
   /// Unmap ("omp target exit data"): decrement the reference count;
   /// CopyFrom performs the `from` motion when given. Storage is released
-  /// when the count reaches zero.
-  Expected<bool> exitData(void *HostPtr, bool CopyFrom = false);
+  /// when the count reaches zero. Fails with a "pointer is not mapped"
+  /// error for pointers that were never mapped (or already fully unmapped).
+  Expected<void> exitData(void *HostPtr, bool CopyFrom = false);
 
   /// "omp target update to/from": refresh one direction without changing
-  /// reference counts.
-  Expected<bool> updateTo(const void *HostPtr);
-  Expected<bool> updateFrom(void *HostPtr);
+  /// reference counts. Fails with a "pointer is not mapped" error for
+  /// unmapped pointers.
+  Expected<void> updateTo(const void *HostPtr);
+  Expected<void> updateFrom(void *HostPtr);
 
   /// Device address of a mapped host pointer (error when not present).
   Expected<DeviceAddr> lookup(const void *HostPtr) const;
@@ -91,18 +88,27 @@ public:
   [[nodiscard]] bool isPresent(const void *HostPtr) const;
   /// Number of live mappings (leak checks in tests).
   [[nodiscard]] std::size_t numMappings() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    std::lock_guard<std::mutex> Lock(TableMutex);
     return Table.size();
   }
 
   // --- Kernel launches ---------------------------------------------------------
 
-  /// Launch a registered kernel ("omp target teams ..."): marshals the
-  /// arguments (translating mapped pointers) and blocks until completion.
+  /// Launch a registered kernel ("omp target teams ..."): the one validated
+  /// entry point every path funnels through. Marshals the request's
+  /// arguments (translating mapped pointers), pins the kernel's image for
+  /// the duration, and blocks until completion.
+  Expected<LaunchResult> launch(const LaunchRequest &Request);
+
+  /// Classic positional form; thin wrapper that builds a LaunchRequest.
   Expected<LaunchResult> launch(std::string_view KernelName,
                                 std::span<const KernelArg> Args,
                                 std::uint32_t NumTeams,
-                                std::uint32_t NumThreads);
+                                std::uint32_t NumThreads) {
+    return launch(LaunchRequest::make(
+        std::string(KernelName), {Args.begin(), Args.end()}, NumTeams,
+        NumThreads));
+  }
 
 private:
   struct Mapping {
@@ -111,17 +117,28 @@ private:
     std::uint32_t RefCount = 0;
   };
 
+  struct ImageRec {
+    std::unique_ptr<vgpu::ModuleImage> Image;
+    /// Launches currently executing from this image. Shared so a launch
+    /// can safely decrement after the runtime dropped the record.
+    std::shared_ptr<std::atomic<std::uint32_t>> InFlight;
+  };
+
   struct KernelEntry {
     const vgpu::ModuleImage *Image = nullptr;
     const ir::Function *Kernel = nullptr;
+    std::shared_ptr<std::atomic<std::uint32_t>> InFlight;
   };
 
   vgpu::VirtualGPU &Device;
   /// Guards the present table: application host threads may issue
   /// enterData/exitData concurrently (OpenMP target tasks).
-  mutable std::mutex Mutex;
+  mutable std::mutex TableMutex;
   std::map<const void *, Mapping> Table;
-  std::vector<std::unique_ptr<vgpu::ModuleImage>> Images;
+  /// Guards the image list and kernel-name bindings; launches resolve and
+  /// pin their entry under this lock, then run without it.
+  mutable std::mutex ImagesMutex;
+  std::vector<ImageRec> Images;
   std::map<std::string, KernelEntry, std::less<>> Kernels;
 };
 

@@ -1,0 +1,77 @@
+//===- host/LaunchRequest.hpp - The unified launch-request surface ---------===//
+//
+// One validated request shape shared by every path that launches a kernel:
+// the synchronous library call (HostRuntime::launch) and the asynchronous
+// multi-tenant service (service::Service::submitLaunch) both marshal through
+// a LaunchRequest instead of parallel ad-hoc signatures. The request names
+// the kernel, carries the argument list and the launch geometry, and tags
+// the submitting tenant so stats and trace events can be attributed.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/Error.hpp"
+
+namespace codesign::host {
+
+/// One kernel argument from the host's perspective.
+struct KernelArg {
+  enum class Kind { I64, F64, MappedPtr };
+  Kind K = Kind::I64;
+  std::int64_t I = 0;
+  double F = 0.0;
+  const void *HostPtr = nullptr;
+
+  static KernelArg i64(std::int64_t V) { return {Kind::I64, V, 0.0, nullptr}; }
+  static KernelArg f64(double V) { return {Kind::F64, 0, V, nullptr}; }
+  /// A pointer previously mapped with enterData; translated at launch.
+  static KernelArg mapped(const void *P) {
+    return {Kind::MappedPtr, 0, 0.0, P};
+  }
+};
+
+/// Launch geometry ("omp target teams num_teams(...) thread_limit(...)").
+struct LaunchConfig {
+  std::uint32_t NumTeams = 1;
+  std::uint32_t NumThreads = 1;
+};
+
+/// A fully described kernel launch. `Tenant` is optional attribution: the
+/// service uses it to isolate per-client stats and trace events; library
+/// callers may leave it empty.
+struct LaunchRequest {
+  std::string Kernel;           ///< registered kernel name
+  std::vector<KernelArg> Args;  ///< marshalled in order
+  LaunchConfig Config;
+  std::string Tenant;
+
+  /// Convenience builder for the common case.
+  static LaunchRequest make(std::string Kernel, std::vector<KernelArg> Args,
+                            std::uint32_t NumTeams, std::uint32_t NumThreads,
+                            std::string Tenant = {}) {
+    LaunchRequest R;
+    R.Kernel = std::move(Kernel);
+    R.Args = std::move(Args);
+    R.Config = {NumTeams, NumThreads};
+    R.Tenant = std::move(Tenant);
+    return R;
+  }
+
+  /// Structural validation shared by every entry point: a named kernel and
+  /// a non-degenerate geometry. (Whether the kernel exists and the args are
+  /// mapped is checked against runtime state at launch time.)
+  [[nodiscard]] Expected<void> validate() const {
+    if (Kernel.empty())
+      return makeError("launch request: empty kernel name");
+    if (Config.NumTeams == 0 || Config.NumThreads == 0)
+      return makeError("launch request '", Kernel,
+                       "': NumTeams and NumThreads must be nonzero");
+    return {};
+  }
+};
+
+} // namespace codesign::host

@@ -1,0 +1,276 @@
+#include "service/Service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "frontend/TargetCompiler.hpp"
+#include "support/Trace.hpp"
+
+namespace codesign::service {
+
+namespace {
+
+std::uint64_t nowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+Service::Service(vgpu::VirtualGPU &Device, ServiceConfig Config)
+    : Device(Device), Config(Config), Host(Device),
+      Pool(std::max(1u, Config.Workers)) {
+  this->Config.Workers = std::max(1u, Config.Workers);
+  this->Config.QueueCapacity = std::max<std::size_t>(1, Config.QueueCapacity);
+  // The runner thread turns the fork-join pool into a service worker pool:
+  // parallelFor hands each index of [0, Workers) to a distinct thread (the
+  // runner itself claims one), and every index runs the drain loop until
+  // shutdown flips Stopping.
+  Runner = std::thread([this] {
+    Pool.parallelFor(this->Config.Workers,
+                     [this](std::uint64_t) { workerLoop(); });
+  });
+}
+
+Service::~Service() {
+  drain();
+  {
+    std::lock_guard<std::mutex> Lock(QMutex);
+    Stopping = true;
+  }
+  NotEmpty.notify_all();
+  NotFull.notify_all();
+  Runner.join();
+}
+
+void Service::workerLoop() {
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> Lock(QMutex);
+      NotEmpty.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping, nothing left to do
+      J = std::move(Queue.front());
+      Queue.pop_front();
+      ++ActiveJobs;
+      NotFull.notify_one();
+    }
+    {
+      // Everything the request does — compile traces, launch traces — is
+      // stamped with its tenant for per-tenant trace isolation.
+      trace::TenantScope Scope(J.Tenant);
+      const std::uint64_t Start = nowMicros();
+      J.Run();
+      trace::Tracer::global().span("service", "request",
+                                   nowMicros() - Start, {{"req", J.Id}});
+    }
+    {
+      std::lock_guard<std::mutex> Lock(QMutex);
+      --ActiveJobs;
+      if (Queue.empty() && ActiveJobs == 0)
+        Idle.notify_all();
+    }
+  }
+}
+
+Expected<std::uint64_t> Service::enqueue(const std::string &Tenant,
+                                         std::function<void()> Run) {
+  const std::uint64_t Id =
+      NextRequestId.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> Lock(QMutex);
+    if (Queue.size() >= Config.QueueCapacity) {
+      if (Config.Policy == AdmissionPolicy::Reject || Stopping) {
+        ++TotalRejected;
+        withTenant(Tenant, [](TenantState &T) { ++T.Stats.Rejected; });
+        return makeError("service: queue full (capacity ",
+                         std::to_string(Config.QueueCapacity),
+                         "): request rejected by admission control");
+      }
+      NotFull.wait(Lock, [this] {
+        return Queue.size() < Config.QueueCapacity || Stopping;
+      });
+    }
+    if (Stopping) {
+      ++TotalRejected;
+      withTenant(Tenant, [](TenantState &T) { ++T.Stats.Rejected; });
+      return makeError("service: shutting down, request rejected");
+    }
+    Queue.push_back(Job{Tenant, Id, std::move(Run)});
+    ++TotalEnqueued;
+    DepthSum += Queue.size();
+    if (Queue.size() > PeakDepth)
+      PeakDepth = Queue.size();
+  }
+  withTenant(Tenant, [](TenantState &T) { ++T.Stats.Submitted; });
+  NotEmpty.notify_one();
+  return Id;
+}
+
+void Service::finishTenant(const std::string &Tenant, bool Ok) {
+  withTenant(Tenant, [Ok](TenantState &T) {
+    if (Ok)
+      ++T.Stats.Completed;
+    else
+      ++T.Stats.Failed;
+  });
+}
+
+Expected<void> Service::registerCompiled(const frontend::CompiledKernel &CK) {
+  std::lock_guard<std::mutex> Lock(RegMutex);
+  const std::string &Name = CK.Kernel->name();
+  if (auto It = BoundKernels.find(Name); It != BoundKernels.end()) {
+    // The single-flight cache hands every identical compile the same
+    // module, so a repeat binding of that module is the expected steady
+    // state, not a conflict.
+    if (It->second == CK.M.get())
+      return {};
+    return makeError("service: kernel '", Name,
+                     "' is already registered from a different module");
+  }
+  if (auto Out = Host.registerImage(*CK.M, CK.Bytecode); !Out)
+    return Out;
+  BoundKernels.emplace(Name, CK.M.get());
+  OwnedModules.push_back(CK.M);
+  return {};
+}
+
+Expected<Ticket<void>>
+Service::submitRegister(std::string Tenant, std::shared_ptr<ir::Module> M,
+                        std::shared_ptr<const vgpu::BytecodeModule> Bytecode) {
+  if (!M)
+    return makeError("service: submitRegister requires a module");
+  auto Promise = std::make_shared<std::promise<Expected<void>>>();
+  auto Fut = Promise->get_future();
+  auto Out = enqueue(Tenant, [this, Tenant, M = std::move(M),
+                              Bytecode = std::move(Bytecode), Promise] {
+    Expected<void> R = [&]() -> Expected<void> {
+      std::lock_guard<std::mutex> Lock(RegMutex);
+      if (auto Reg = Host.registerImage(*M, Bytecode); !Reg)
+        return Reg;
+      for (const auto &F : M->functions())
+        if (F->hasAttr(ir::FnAttr::Kernel))
+          BoundKernels.emplace(F->name(), M.get());
+      OwnedModules.push_back(M);
+      return {};
+    }();
+    finishTenant(Tenant, R.hasValue());
+    Promise->set_value(std::move(R));
+  });
+  if (!Out)
+    return Out.error();
+  return Ticket<void>(*Out, std::move(Fut));
+}
+
+Expected<Ticket<frontend::CompiledKernel>>
+Service::submitCompile(std::string Tenant, frontend::KernelSpec Spec,
+                       frontend::CompileOptions Options) {
+  auto Promise =
+      std::make_shared<std::promise<Expected<frontend::CompiledKernel>>>();
+  auto Fut = Promise->get_future();
+  auto SpecPtr = std::make_shared<frontend::KernelSpec>(std::move(Spec));
+  auto OptPtr = std::make_shared<frontend::CompileOptions>(std::move(Options));
+  auto Out = enqueue(Tenant, [this, Tenant, SpecPtr, OptPtr, Promise] {
+    auto R = frontend::compileKernel(*SpecPtr, *OptPtr, Device.registry());
+    if (R) {
+      withTenant(Tenant, [&](TenantState &T) {
+        ++T.Stats.Compiles;
+        if (R->Timing.CacheHit)
+          ++T.Stats.CompileCacheHits;
+      });
+      if (auto Reg = registerCompiled(*R); !Reg) {
+        finishTenant(Tenant, false);
+        Promise->set_value(Reg.error());
+        return;
+      }
+    }
+    finishTenant(Tenant, R.hasValue());
+    Promise->set_value(std::move(R));
+  });
+  if (!Out)
+    return Out.error();
+  return Ticket<frontend::CompiledKernel>(*Out, std::move(Fut));
+}
+
+Expected<Ticket<vgpu::LaunchResult>>
+Service::submitLaunch(host::LaunchRequest Request) {
+  // Reject malformed requests at submission, before they consume a queue
+  // slot: the client gets the error synchronously.
+  if (auto Valid = Request.validate(); !Valid)
+    return Valid.error();
+  auto Promise = std::make_shared<std::promise<Expected<vgpu::LaunchResult>>>();
+  auto Fut = Promise->get_future();
+  const std::string Tenant = Request.Tenant;
+  auto ReqPtr = std::make_shared<host::LaunchRequest>(std::move(Request));
+  auto Out = enqueue(Tenant, [this, Tenant, ReqPtr, Promise] {
+    const std::uint64_t Start = nowMicros();
+    auto R = Host.launch(*ReqPtr);
+    const double WallMicros = static_cast<double>(nowMicros() - Start);
+    const bool Ok = R.hasValue() && R->Ok;
+    withTenant(Tenant, [&](TenantState &T) {
+      if (Ok) {
+        ++T.Stats.Launches;
+        T.Stats.LaunchWallMicros.add(WallMicros);
+        if (R->Profile.Collected) {
+          T.LastProfile = R->Profile;
+          T.HasProfile = true;
+        }
+      }
+    });
+    finishTenant(Tenant, Ok);
+    Promise->set_value(std::move(R));
+  });
+  if (!Out)
+    return Out.error();
+  return Ticket<vgpu::LaunchResult>(*Out, std::move(Fut));
+}
+
+Expected<vgpu::LaunchProfile> Service::lastProfile(std::string_view Tenant) const {
+  std::lock_guard<std::mutex> Lock(TenantsMutex);
+  auto It = Tenants.find(Tenant);
+  if (It == Tenants.end() || !It->second.HasProfile)
+    return makeError("service: tenant '", std::string(Tenant),
+                     "' has no profiled launch (enable profiling with "
+                     "VirtualGPU::setProfiling)");
+  return It->second.LastProfile;
+}
+
+TenantStats Service::tenantStats(std::string_view Tenant) const {
+  std::lock_guard<std::mutex> Lock(TenantsMutex);
+  auto It = Tenants.find(Tenant);
+  return It == Tenants.end() ? TenantStats{} : It->second.Stats;
+}
+
+std::vector<std::string> Service::tenants() const {
+  std::lock_guard<std::mutex> Lock(TenantsMutex);
+  std::vector<std::string> Out;
+  Out.reserve(Tenants.size());
+  for (const auto &[Name, State] : Tenants)
+    Out.push_back(Name);
+  return Out;
+}
+
+QueueStats Service::queueStats() const {
+  std::lock_guard<std::mutex> Lock(QMutex);
+  QueueStats S;
+  S.Depth = Queue.size();
+  S.Peak = PeakDepth;
+  S.Enqueued = TotalEnqueued;
+  S.Rejected = TotalRejected;
+  S.MeanDepth = TotalEnqueued
+                    ? static_cast<double>(DepthSum) /
+                          static_cast<double>(TotalEnqueued)
+                    : 0.0;
+  return S;
+}
+
+void Service::drain() {
+  std::unique_lock<std::mutex> Lock(QMutex);
+  Idle.wait(Lock, [this] { return Queue.empty() && ActiveJobs == 0; });
+}
+
+} // namespace codesign::service

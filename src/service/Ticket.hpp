@@ -1,0 +1,52 @@
+//===- service/Ticket.hpp - Future-based request handle --------------------===//
+//
+// Submitting a request to the service returns a Ticket: a one-shot future
+// for the request's Expected<T> outcome plus the request's id for trace
+// correlation. Tickets are movable, not copyable (one consumer per
+// request), and get() blocks until a service worker completed the request.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <utility>
+
+#include "support/Error.hpp"
+
+namespace codesign::service {
+
+/// Handle to one asynchronously processed request.
+template <typename T> class Ticket {
+public:
+  Ticket() = default;
+  Ticket(std::uint64_t Id, std::future<Expected<T>> Fut)
+      : Id(Id), Fut(std::move(Fut)) {}
+
+  /// The service-assigned request id (monotonic per service instance;
+  /// matches the "service" trace events' req field).
+  [[nodiscard]] std::uint64_t id() const { return Id; }
+
+  /// True when this ticket is attached to a request.
+  [[nodiscard]] bool valid() const { return Fut.valid(); }
+
+  /// True when the outcome is available (get() would not block).
+  [[nodiscard]] bool ready() const {
+    return Fut.valid() && Fut.wait_for(std::chrono::seconds(0)) ==
+                              std::future_status::ready;
+  }
+
+  /// Block until the request completed and take its outcome. One-shot:
+  /// valid() is false afterwards.
+  [[nodiscard]] Expected<T> get() {
+    CODESIGN_ASSERT(Fut.valid(), "Ticket::get on an empty ticket");
+    return Fut.get();
+  }
+
+private:
+  std::uint64_t Id = 0;
+  std::future<Expected<T>> Fut;
+};
+
+} // namespace codesign::service

@@ -1,6 +1,50 @@
 #include "support/Stats.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 namespace codesign {
+
+void Samples::ensureSorted() const {
+  if (!Sorted) {
+    std::sort(Values.begin(), Values.end());
+    Sorted = true;
+  }
+}
+
+double Samples::sum() const {
+  return std::accumulate(Values.begin(), Values.end(), 0.0);
+}
+
+double Samples::min() const {
+  if (Values.empty())
+    return 0.0;
+  ensureSorted();
+  return Values.front();
+}
+
+double Samples::max() const {
+  if (Values.empty())
+    return 0.0;
+  ensureSorted();
+  return Values.back();
+}
+
+double Samples::percentile(double P) const {
+  if (Values.empty())
+    return 0.0;
+  ensureSorted();
+  if (P <= 0.0)
+    return Values.front();
+  if (P >= 100.0)
+    return Values.back();
+  const double Rank = P / 100.0 * static_cast<double>(Values.size() - 1);
+  const std::size_t Lo = static_cast<std::size_t>(Rank);
+  const double Frac = Rank - static_cast<double>(Lo);
+  if (Lo + 1 >= Values.size())
+    return Values.back();
+  return Values[Lo] + Frac * (Values[Lo + 1] - Values[Lo]);
+}
 
 Counters &Counters::global() {
   static Counters Instance;

@@ -62,6 +62,42 @@ private:
   double MaxV = -std::numeric_limits<double>::infinity();
 };
 
+/// Exact sample set for latency-distribution reporting: keeps every
+/// observation so benches can report true percentiles (p50/p95/p99), not
+/// approximations. Not thread-safe by design — each client thread collects
+/// its own Samples and the bench merges them at the end.
+class Samples {
+public:
+  /// Record one observation.
+  void add(double X) {
+    Values.push_back(X);
+    Sorted = false;
+  }
+  /// Fold another sample set into this one.
+  void merge(const Samples &Other) {
+    Values.insert(Values.end(), Other.Values.begin(), Other.Values.end());
+    Sorted = false;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return Values.size(); }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const {
+    return Values.empty() ? 0.0 : sum() / static_cast<double>(Values.size());
+  }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// The P-th percentile (P in [0,100]) by linear interpolation between
+  /// order statistics (the "exclusive" nearest-rank variant used by most
+  /// latency tooling). 0 when empty.
+  [[nodiscard]] double percentile(double P) const;
+
+private:
+  mutable std::vector<double> Values;
+  mutable bool Sorted = false;
+  void ensureSorted() const;
+};
+
 /// Process-wide registry of named monotonic counters. Thread-safe; counters
 /// spring into existence at zero on first touch. Names use dotted paths
 /// ("kernel-cache.hits") so related counters sort together in snapshots.

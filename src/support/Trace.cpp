@@ -9,7 +9,26 @@ Tracer &Tracer::global() {
   return T;
 }
 
+namespace {
+
+/// The calling thread's tenant tag storage. A function-local thread_local
+/// avoids static-initialization-order surprises across TUs.
+std::string &threadTenantSlot() {
+  thread_local std::string Tenant;
+  return Tenant;
+}
+
+} // namespace
+
+const std::string &threadTenant() { return threadTenantSlot(); }
+
+void setThreadTenant(std::string_view Tenant) {
+  threadTenantSlot().assign(Tenant);
+}
+
 void Tracer::record(Event E) {
+  if (E.Tenant.empty())
+    E.Tenant = threadTenant();
   std::lock_guard<std::mutex> Lock(Mutex);
   E.Seq = NextSeq++;
   Buffer.push_back(std::move(E));
@@ -65,6 +84,15 @@ std::vector<Event> Tracer::events() const {
   return Buffer;
 }
 
+std::vector<Event> Tracer::eventsForTenant(std::string_view T) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<Event> Out;
+  for (const Event &E : Buffer)
+    if (E.Tenant == T)
+      Out.push_back(E);
+  return Out;
+}
+
 namespace {
 
 const char *kindName(EventKind K) {
@@ -93,6 +121,8 @@ void Tracer::drain(std::ostream &OS) {
     Obj.set("kind", kindName(E.Kind));
     Obj.set("cat", E.Category);
     Obj.set("name", E.Name);
+    if (!E.Tenant.empty())
+      Obj.set("tenant", E.Tenant);
     if (E.Kind == EventKind::Span)
       Obj.set("dur_us", E.DurationMicros);
     if (!E.Fields.empty()) {

@@ -41,9 +41,35 @@ struct Event {
   EventKind Kind = EventKind::Instant;
   std::string Category; ///< Subsystem, e.g. "opt", "frontend", "vgpu".
   std::string Name;     ///< Event name, e.g. pass or phase name.
+  std::string Tenant;   ///< Owning tenant ("" = untagged); see TenantScope.
   std::uint64_t Seq = 0;
   std::uint64_t DurationMicros = 0; ///< Spans only.
   std::vector<std::pair<std::string, std::uint64_t>> Fields;
+};
+
+/// The calling thread's current tenant tag. Every event recorded by this
+/// thread is stamped with it, so one tracer can serve many tenants (the
+/// multi-tenant service runs requests from different clients on shared
+/// worker threads) and traces can still be filtered per client.
+[[nodiscard]] const std::string &threadTenant();
+/// Set the calling thread's tenant tag (empty = untagged). Prefer
+/// TenantScope, which restores the previous tag.
+void setThreadTenant(std::string_view Tenant);
+
+/// RAII tenant tag: stamps every event the current thread records during
+/// its lifetime, restoring the previous tag (service workers nest request
+/// handling inside their own bookkeeping).
+class TenantScope {
+public:
+  explicit TenantScope(std::string_view Tenant) : Previous(threadTenant()) {
+    setThreadTenant(Tenant);
+  }
+  TenantScope(const TenantScope &) = delete;
+  TenantScope &operator=(const TenantScope &) = delete;
+  ~TenantScope() { setThreadTenant(Previous); }
+
+private:
+  std::string Previous;
 };
 
 /// Process-wide trace recorder. Disabled by default; every record call is
@@ -80,6 +106,9 @@ public:
   [[nodiscard]] std::size_t size() const;
   /// Copy of the buffered events, in record order.
   [[nodiscard]] std::vector<Event> events() const;
+  /// Buffered events stamped with the given tenant tag, in record order
+  /// (per-tenant trace isolation for the service).
+  [[nodiscard]] std::vector<Event> eventsForTenant(std::string_view T) const;
   /// Write every buffered event as one compact JSON object per line and
   /// clear the buffer.
   void drain(std::ostream &OS);

@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "opt/Remark.hpp"
 #include "support/Stats.hpp"
 #include "vgpu/VirtualGPU.hpp"
@@ -165,6 +168,134 @@ TEST_F(KernelCacheTest, CountersMatchObservedHitsAndMisses) {
             KernelCache::global().misses());
   EXPECT_EQ(Counters::global().value("kernel-cache.hits"),
             KernelCache::global().hits());
+}
+
+TEST_F(KernelCacheTest, SingleFlightCoalescesConcurrentRequests) {
+  // 16 threads request the same key; the winner's compile spins until the
+  // cache has counted every other thread as coalesced, so the outcome is
+  // deterministic: one compilation, 15 coalesced waiters, zero hits.
+  constexpr unsigned Waiters = 15;
+  std::atomic<unsigned> Invocations{0};
+  auto Compile = [&]() -> Expected<CompiledKernel> {
+    Invocations.fetch_add(1);
+    while (KernelCache::global().stats().coalesced() < Waiters)
+      std::this_thread::yield();
+    CompiledKernel CK;
+    CK.M = std::make_shared<ir::Module>("shared");
+    return CK;
+  };
+  std::vector<std::thread> Threads;
+  std::vector<const ir::Module *> Got(Waiters + 1, nullptr);
+  for (unsigned I = 0; I < Waiters + 1; ++I)
+    Threads.emplace_back([&, I] {
+      auto R = KernelCache::global().getOrCompile("storm-key", Compile);
+      ASSERT_TRUE(R.hasValue()) << R.error().message();
+      Got[I] = R->M.get();
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Invocations.load(), 1u) << "exactly one compilation must run";
+  const KernelCache::Stats S = KernelCache::global().stats();
+  EXPECT_EQ(S.misses(), 1u);
+  EXPECT_EQ(S.coalesced(), Waiters);
+  EXPECT_EQ(S.hits(), 0u);
+  EXPECT_EQ(Counters::global().value("kernel-cache.coalesced"), Waiters);
+  for (const ir::Module *M : Got)
+    EXPECT_EQ(M, Got[0]) << "every waiter must share the winner's module";
+}
+
+TEST_F(KernelCacheTest, SingleFlightSharesFailureButDoesNotCacheIt) {
+  constexpr unsigned Waiters = 7;
+  std::atomic<unsigned> Invocations{0};
+  auto Failing = [&]() -> Expected<CompiledKernel> {
+    Invocations.fetch_add(1);
+    while (KernelCache::global().stats().coalesced() < Waiters)
+      std::this_thread::yield();
+    return makeError("deliberate compile failure");
+  };
+  std::vector<std::thread> Threads;
+  std::atomic<unsigned> Failures{0};
+  for (unsigned I = 0; I < Waiters + 1; ++I)
+    Threads.emplace_back([&] {
+      auto R = KernelCache::global().getOrCompile("failing-key", Failing);
+      if (!R.hasValue() &&
+          R.error().message().find("deliberate") != std::string::npos)
+        Failures.fetch_add(1);
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Invocations.load(), 1u);
+  EXPECT_EQ(Failures.load(), Waiters + 1)
+      << "waiters must receive the winner's error";
+  EXPECT_EQ(KernelCache::global().size(), 0u) << "failures are not cached";
+  // A retry is a fresh miss that runs the compile again.
+  auto Retry = KernelCache::global().getOrCompile(
+      "failing-key", [&]() -> Expected<CompiledKernel> {
+        Invocations.fetch_add(1);
+        CompiledKernel CK;
+        CK.M = std::make_shared<ir::Module>("retry");
+        return CK;
+      });
+  ASSERT_TRUE(Retry.hasValue());
+  EXPECT_EQ(Invocations.load(), 2u);
+  EXPECT_EQ(KernelCache::global().misses(), 2u);
+}
+
+TEST_F(KernelCacheTest, ShardStatsAggregateAcrossShards) {
+  constexpr unsigned Keys = 64;
+  for (unsigned I = 0; I < Keys; ++I) {
+    KernelCache::Outcome Outcome = KernelCache::Outcome::Hit;
+    auto R = KernelCache::global().getOrCompile(
+        "key-" + std::to_string(I),
+        [&]() -> Expected<CompiledKernel> {
+          CompiledKernel CK;
+          CK.M = std::make_shared<ir::Module>("m");
+          return CK;
+        },
+        &Outcome);
+    ASSERT_TRUE(R.hasValue());
+    EXPECT_EQ(Outcome, KernelCache::Outcome::Miss);
+  }
+  const KernelCache::Stats S = KernelCache::global().stats();
+  EXPECT_EQ(S.misses(), Keys);
+  EXPECT_EQ(S.entries(), Keys);
+  EXPECT_EQ(KernelCache::global().size(), Keys);
+  std::uint64_t PerShardEntries = 0, NonEmptyShards = 0;
+  for (const auto &Shard : S.Shards) {
+    PerShardEntries += Shard.Entries;
+    NonEmptyShards += Shard.Entries ? 1 : 0;
+  }
+  EXPECT_EQ(PerShardEntries, Keys) << "aggregate must equal shard sum";
+  EXPECT_GT(NonEmptyShards, 1u) << "64 keys must spread over >1 of the "
+                                << KernelCache::NumShards << " shards";
+}
+
+TEST_F(KernelCacheTest, ConcurrentCompileKernelStormCompilesOnce) {
+  // End to end through compileKernel: 8 client threads x 32 identical
+  // requests. Exactly one compilation may run; all other requests must be
+  // hits or coalesced waiters, and every result shares one module.
+  constexpr unsigned ClientThreads = 8, PerThread = 32;
+  const CompileOptions Opts = CompileOptions::newRT();
+  std::vector<std::thread> Threads;
+  std::vector<const ir::Module *> FirstModule(ClientThreads, nullptr);
+  for (unsigned T = 0; T < ClientThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I < PerThread; ++I) {
+        auto R = compileKernel(spec(), Opts, GPU.registry());
+        ASSERT_TRUE(R.hasValue()) << R.error().message();
+        if (!FirstModule[T])
+          FirstModule[T] = R->M.get();
+        EXPECT_EQ(R->M.get(), FirstModule[T]);
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  const KernelCache::Stats S = KernelCache::global().stats();
+  EXPECT_EQ(S.misses(), 1u)
+      << "identical concurrent compiles must dedupe to one compilation";
+  EXPECT_EQ(S.hits() + S.coalesced(), ClientThreads * PerThread - 1u);
+  for (unsigned T = 1; T < ClientThreads; ++T)
+    EXPECT_EQ(FirstModule[T], FirstModule[0]);
 }
 
 TEST_F(KernelCacheTest, KeyDistinguishesNativeOpIdentity) {

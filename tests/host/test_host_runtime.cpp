@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "ir/IRBuilder.hpp"
@@ -243,7 +244,7 @@ TEST_F(HostRuntimeTest, UnregisterImageAllowsReRegistration) {
   Module First;
   addKernel(First, "swap_k");
   ASSERT_TRUE(RT.registerImage(First).hasValue());
-  RT.unregisterImage(First);
+  ASSERT_TRUE(RT.unregisterImage(First).hasValue());
   EXPECT_FALSE(RT.launch("swap_k", {}, 1, 1).hasValue())
       << "unregistered kernels must no longer resolve";
   Module Second;
@@ -251,10 +252,90 @@ TEST_F(HostRuntimeTest, UnregisterImageAllowsReRegistration) {
   ASSERT_TRUE(RT.registerImage(Second).hasValue())
       << "the name must be free again after unregistering";
   EXPECT_TRUE(RT.launch("swap_k", {}, 1, 1).hasValue());
-  // Unregistering a never-registered module is a harmless no-op.
+}
+
+TEST_F(HostRuntimeTest, UnregisterUnknownModuleReportsError) {
+  HostRuntime RT(GPU);
   Module Unknown;
   addKernel(Unknown, "never_registered");
-  RT.unregisterImage(Unknown);
+  auto R = RT.unregisterImage(Unknown);
+  ASSERT_FALSE(R.hasValue())
+      << "unregistering a never-registered module must be reported";
+  EXPECT_NE(R.error().message().find("never registered"), std::string::npos)
+      << R.error().message();
+  // Double-unregister is the same bookkeeping bug and also reports.
+  Module Once;
+  addKernel(Once, "once_k");
+  ASSERT_TRUE(RT.registerImage(Once).hasValue());
+  ASSERT_TRUE(RT.unregisterImage(Once).hasValue());
+  EXPECT_FALSE(RT.unregisterImage(Once).hasValue());
+}
+
+TEST_F(HostRuntimeTest, UnregisterWithInFlightLaunchReportsError) {
+  // A kernel whose body blocks inside a native op until released: the
+  // launch is genuinely in flight when the main thread tries to pull the
+  // image out from under it.
+  std::atomic<bool> Entered{false};
+  std::atomic<bool> Release{false};
+  const std::int64_t GateId = GPU.registry().add(vgpu::NativeOpInfo{
+      "unregister_gate",
+      [&](vgpu::NativeCtx &) {
+        Entered.store(true);
+        while (!Release.load())
+          std::this_thread::yield();
+      },
+      0});
+  Module M;
+  Function *K = M.createFunction("gated_k", Type::voidTy(), {});
+  K->addAttr(FnAttr::Kernel);
+  IRBuilder B(M);
+  B.setInsertPoint(K->createBlock("entry"));
+  B.nativeOp(GateId, Type::voidTy(), {},
+             NativeOpFlags{/*ReadsMemory=*/true, /*WritesMemory=*/true,
+                           /*Divergent=*/false});
+  B.retVoid();
+
+  HostRuntime RT(GPU);
+  ASSERT_TRUE(RT.registerImage(M).hasValue());
+  std::thread Launcher([&] {
+    auto R = RT.launch("gated_k", {}, 1, 1);
+    ASSERT_TRUE(R.hasValue()) << R.error().message();
+    EXPECT_TRUE(R->Ok) << R->Error;
+  });
+  while (!Entered.load())
+    std::this_thread::yield();
+  auto Busy = RT.unregisterImage(M);
+  ASSERT_FALSE(Busy.hasValue())
+      << "unregistering a module with a running launch must be refused";
+  EXPECT_NE(Busy.error().message().find("in-flight"), std::string::npos)
+      << Busy.error().message();
+  Release.store(true);
+  Launcher.join();
+  EXPECT_TRUE(RT.unregisterImage(M).hasValue())
+      << "once the launch completed, unregistering must succeed";
+}
+
+TEST_F(HostRuntimeTest, LaunchRequestIsTheValidatedEntryPoint) {
+  HostRuntime RT(GPU);
+  Module M;
+  addKernel(M, "req_k");
+  ASSERT_TRUE(RT.registerImage(M).hasValue());
+  // Structural validation fires before any kernel lookup.
+  LaunchRequest Empty;
+  EXPECT_FALSE(RT.launch(Empty).hasValue()) << "empty kernel name";
+  LaunchRequest ZeroTeams = LaunchRequest::make("req_k", {}, 0, 1);
+  auto R = RT.launch(ZeroTeams);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().message().find("nonzero"), std::string::npos)
+      << R.error().message();
+  // The positional wrapper and the request form take the same path.
+  auto ViaRequest = RT.launch(LaunchRequest::make("req_k", {}, 2, 4, "tenantA"));
+  ASSERT_TRUE(ViaRequest.hasValue()) << ViaRequest.error().message();
+  EXPECT_TRUE(ViaRequest->Ok);
+  auto ViaWrapper = RT.launch("req_k", {}, 2, 4);
+  ASSERT_TRUE(ViaWrapper.hasValue());
+  EXPECT_EQ(ViaRequest->Metrics.KernelCycles, ViaWrapper->Metrics.KernelCycles)
+      << "both entry points must produce identical launches";
 }
 
 } // namespace

@@ -47,6 +47,67 @@ TEST(StreamingStats, SingleObservationHasZeroSpread) {
   EXPECT_DOUBLE_EQ(S.mean(), 42.0);
 }
 
+TEST(Samples, EmptyIsSane) {
+  Samples S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), 0.0);
+  EXPECT_DOUBLE_EQ(S.max(), 0.0);
+  EXPECT_DOUBLE_EQ(S.percentile(50), 0.0);
+}
+
+TEST(Samples, PercentilesAreExactOrderStatistics) {
+  // 1..100 in shuffled-ish order: percentile() must sort internally.
+  Samples S;
+  for (int I = 100; I >= 1; --I)
+    S.add(static_cast<double>(I));
+  EXPECT_EQ(S.count(), 100u);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 100.0);
+  EXPECT_DOUBLE_EQ(S.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(S.percentile(100), 100.0);
+  // p50 of 1..100: rank 49.5 -> halfway between 50 and 51.
+  EXPECT_DOUBLE_EQ(S.percentile(50), 50.5);
+  // p99: rank 98.01 -> between 99 and 100.
+  EXPECT_NEAR(S.percentile(99), 99.01, 1e-9);
+}
+
+TEST(Samples, LinearInterpolationBetweenRanks) {
+  Samples S;
+  S.add(10.0);
+  S.add(20.0);
+  EXPECT_DOUBLE_EQ(S.percentile(50), 15.0);
+  EXPECT_DOUBLE_EQ(S.percentile(25), 12.5);
+  EXPECT_DOUBLE_EQ(S.percentile(75), 17.5);
+}
+
+TEST(Samples, AddAfterPercentileInvalidatesSortCache) {
+  Samples S;
+  S.add(5.0);
+  S.add(1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 5.0); // forces the lazy sort
+  S.add(9.0);                     // must invalidate it
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+  EXPECT_DOUBLE_EQ(S.percentile(100), 9.0);
+}
+
+TEST(Samples, MergeFoldsPerThreadCollections) {
+  // The bench pattern: each client thread collects its own Samples, the
+  // report merges them.
+  Samples A, B, Merged;
+  for (double X : {1.0, 3.0, 5.0})
+    A.add(X);
+  for (double X : {2.0, 4.0, 6.0})
+    B.add(X);
+  Merged.merge(A);
+  Merged.merge(B);
+  EXPECT_EQ(Merged.count(), 6u);
+  EXPECT_DOUBLE_EQ(Merged.min(), 1.0);
+  EXPECT_DOUBLE_EQ(Merged.max(), 6.0);
+  EXPECT_DOUBLE_EQ(Merged.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(Merged.percentile(50), 3.5);
+}
+
 TEST(Counters, TouchCreatesAtZeroAndAccumulates) {
   Counters &C = Counters::global();
   C.reset();

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
 
 #include "support/Json.hpp"
 
@@ -89,6 +90,92 @@ TEST_F(TraceTest, DrainEmitsOneValidJsonObjectPerLineAndClears) {
     EXPECT_TRUE(Doc->has("name"));
   }
   EXPECT_EQ(Lines, 2u);
+}
+
+TEST_F(TraceTest, TenantScopeStampsAndRestores) {
+  Tracer &T = Tracer::global();
+  T.setEnabled(true);
+  ASSERT_EQ(threadTenant(), "");
+  T.instant("svc", "untagged");
+  {
+    TenantScope Outer("alice");
+    EXPECT_EQ(threadTenant(), "alice");
+    T.instant("svc", "outer");
+    {
+      TenantScope Inner("bob");
+      EXPECT_EQ(threadTenant(), "bob");
+      T.instant("svc", "inner");
+    }
+    EXPECT_EQ(threadTenant(), "alice") << "inner scope must restore";
+    T.instant("svc", "outer-again");
+  }
+  EXPECT_EQ(threadTenant(), "") << "outer scope must restore";
+  const auto Events = T.events();
+  ASSERT_EQ(Events.size(), 4u);
+  EXPECT_EQ(Events[0].Tenant, "");
+  EXPECT_EQ(Events[1].Tenant, "alice");
+  EXPECT_EQ(Events[2].Tenant, "bob");
+  EXPECT_EQ(Events[3].Tenant, "alice");
+}
+
+TEST_F(TraceTest, EventsForTenantFiltersOtherTenants) {
+  Tracer &T = Tracer::global();
+  T.setEnabled(true);
+  {
+    TenantScope S("alice");
+    T.instant("svc", "a1");
+    T.span("svc", "a2", 7);
+  }
+  {
+    TenantScope S("bob");
+    T.instant("svc", "b1");
+  }
+  T.instant("svc", "nobody");
+  const auto Alice = T.eventsForTenant("alice");
+  ASSERT_EQ(Alice.size(), 2u);
+  EXPECT_EQ(Alice[0].Name, "a1");
+  EXPECT_EQ(Alice[1].Name, "a2");
+  EXPECT_EQ(T.eventsForTenant("bob").size(), 1u);
+  EXPECT_EQ(T.eventsForTenant("carol").size(), 0u);
+  // The untagged event belongs to the empty tenant.
+  EXPECT_EQ(T.eventsForTenant("").size(), 1u);
+}
+
+TEST_F(TraceTest, TenantTagsAreThreadLocal) {
+  Tracer &T = Tracer::global();
+  T.setEnabled(true);
+  std::thread Other([&] {
+    TenantScope S("worker");
+    T.instant("svc", "from-worker");
+  });
+  Other.join();
+  EXPECT_EQ(threadTenant(), "") << "another thread's scope must not leak";
+  const auto Events = T.eventsForTenant("worker");
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Name, "from-worker");
+}
+
+TEST_F(TraceTest, DrainEmitsTenantFieldOnlyWhenTagged) {
+  Tracer &T = Tracer::global();
+  T.setEnabled(true);
+  T.instant("svc", "untagged");
+  {
+    TenantScope S("alice");
+    T.instant("svc", "tagged");
+  }
+  std::ostringstream OS;
+  T.drain(OS);
+  std::istringstream In(OS.str());
+  std::string Line;
+  ASSERT_TRUE(std::getline(In, Line));
+  auto First = json::parse(Line);
+  ASSERT_TRUE(First.hasValue());
+  EXPECT_FALSE(First->has("tenant"));
+  ASSERT_TRUE(std::getline(In, Line));
+  auto Second = json::parse(Line);
+  ASSERT_TRUE(Second.hasValue());
+  ASSERT_TRUE(Second->has("tenant"));
+  EXPECT_EQ(Second->find("tenant")->asString(), "alice");
 }
 
 } // namespace
