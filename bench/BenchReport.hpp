@@ -14,6 +14,8 @@
 //     "analysis_cache": { "opt.analysis.<name>.hits": n, ...misses,
 //                         ...invalidations (nonzero entries only) },
 //     "lint": { "opt.lint.runs": n, "opt.lint.<rule>.findings": n, ... },
+//     "transfers": { "host.transfer.h2d.bytes": n, ...h2d/d2h transfers,
+//                    bytes and modeled cycles (host.transfer.* counters) },
 //     "counters": { ...remaining process-wide counters... },
 //     ...bench-specific sections via setSection (e.g. soak_service's
 //     "service" object with throughput/latency/queue/cache summaries)...
@@ -163,6 +165,15 @@ public:
     V.set("team_cycles_max", json::Value(P.teamCyclesMax()));
     V.set("team_cycles_mean", json::Value(P.teamCyclesMean()));
     V.set("team_imbalance", json::Value(P.teamImbalance()));
+    if (P.TransfersToDevice || P.TransfersFromDevice) {
+      json::Value T = json::Value::object();
+      T.set("h2d_transfers", json::Value(P.TransfersToDevice));
+      T.set("d2h_transfers", json::Value(P.TransfersFromDevice));
+      T.set("h2d_bytes", json::Value(P.BytesToDevice));
+      T.set("d2h_bytes", json::Value(P.BytesFromDevice));
+      T.set("modeled_cycles", json::Value(P.TransferCycles));
+      V.set("transfers", std::move(T));
+    }
     return V;
   }
 
@@ -182,6 +193,7 @@ public:
     json::Value Cache = json::Value::object();
     json::Value AnalysisCache = json::Value::object();
     json::Value Lint = json::Value::object();
+    json::Value Transfers = json::Value::object();
     json::Value Other = json::Value::object();
     for (const auto &[Name, Count] : Counters::global().snapshot()) {
       json::Value *Dest = &Other;
@@ -189,6 +201,8 @@ public:
         Dest = &AnalysisCache;
       else if (Name.rfind("opt.lint.", 0) == 0)
         Dest = &Lint;
+      else if (Name.rfind("host.transfer.", 0) == 0)
+        Dest = &Transfers;
       else if (Name.rfind("opt.pass.", 0) == 0 ||
                Name.rfind("opt.fixpoint", 0) == 0)
         Dest = &PassTimings;
@@ -200,6 +214,7 @@ public:
     Doc.set("kernel_cache", std::move(Cache));
     Doc.set("analysis_cache", std::move(AnalysisCache));
     Doc.set("lint", std::move(Lint));
+    Doc.set("transfers", std::move(Transfers));
     Doc.set("counters", std::move(Other));
 
     const std::string Path = outputDir() + "/BENCH_" + Bench + ".json";

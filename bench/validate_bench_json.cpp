@@ -56,7 +56,8 @@ bool validate(const std::string &File) {
       return fail(File, "row without a \"name\" string");
   }
   for (const char *Section : {"config", "pass_timings", "kernel_cache",
-                              "analysis_cache", "lint", "counters"}) {
+                              "analysis_cache", "lint", "transfers",
+                              "counters"}) {
     const Value *S = Doc->find(Section);
     if (S && !S->isObject())
       return fail(File, "section is present but not an object");
@@ -69,6 +70,41 @@ bool validate(const std::string &File) {
       if (!Val.isNumber())
         return fail(File, "\"lint\" entry is not a number");
     }
+  // The transfers section, when present, holds only host.transfer.*
+  // counters (the data-mapping engine's h2d/d2h traffic accounting).
+  if (const Value *Transfers = Doc->find("transfers"))
+    for (const auto &[Key, Val] : Transfers->members()) {
+      if (Key.rfind("host.transfer.", 0) != 0)
+        return fail(File,
+                    "\"transfers\" entry without the host.transfer. prefix");
+      if (!Val.isNumber())
+        return fail(File, "\"transfers\" entry is not a number");
+    }
+  // Per-row launch profiles may carry a "transfers" object; when they do,
+  // the byte/transfer counts must be numeric and self-consistent (bytes
+  // moved imply at least one transfer in that direction).
+  for (const Value &Row : Rows->elements()) {
+    const Value *Profile = Row.find("profile");
+    if (!Profile)
+      continue;
+    const Value *T = Profile->find("transfers");
+    if (!T)
+      continue;
+    if (!T->isObject())
+      return fail(File, "row profile \"transfers\" is not an object");
+    for (const char *TF : {"h2d_transfers", "d2h_transfers", "h2d_bytes",
+                           "d2h_bytes", "modeled_cycles"}) {
+      const Value *V = T->find(TF);
+      if (!V || !V->isNumber())
+        return fail(File, "row profile \"transfers\" missing a counter");
+    }
+    if (T->find("h2d_bytes")->asDouble() > 0 &&
+        T->find("h2d_transfers")->asDouble() == 0)
+      return fail(File, "row moved h2d bytes with zero h2d transfers");
+    if (T->find("d2h_bytes")->asDouble() > 0 &&
+        T->find("d2h_transfers")->asDouble() == 0)
+      return fail(File, "row moved d2h bytes with zero d2h transfers");
+  }
   // The service section (soak_service): throughput, latency percentiles,
   // queue health and per-shard cache stats must all be present and typed.
   if (const Value *Svc = Doc->find("service")) {

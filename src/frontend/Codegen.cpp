@@ -181,8 +181,11 @@ private:
       ParamTys.push_back(PS.Ty);
     K = M->createFunction(Spec.Name, Type::voidTy(), std::move(ParamTys));
     K->addAttr(FnAttr::Kernel);
-    for (unsigned I = 0; I < Spec.Params.size(); ++I)
+    for (unsigned I = 0; I < Spec.Params.size(); ++I) {
       K->arg(I)->setName(Spec.Params[I].Name);
+      if (Spec.Params[I].Map != ir::MapKind::None)
+        K->setArgMap(I, Spec.Params[I].Map);
+    }
     B.setInsertPoint(K->createBlock("entry"));
   }
 

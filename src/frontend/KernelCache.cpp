@@ -79,6 +79,10 @@ std::string KernelCache::key(const KernelSpec &Spec,
   for (const ParamSpec &P : Spec.Params) {
     putNum(Key, static_cast<std::int64_t>(P.Ty.kind()));
     putStr(Key, P.Name);
+    // Map clauses are part of the kernel's contract (they land as IR
+    // annotations the inference pass and lint rules read), so two specs
+    // differing only in clauses must not share a cache entry.
+    putNum(Key, static_cast<std::int64_t>(P.Map));
   }
   putNum(Key, static_cast<std::int64_t>(Spec.Stmts.size()));
   for (const Stmt &S : Spec.Stmts)

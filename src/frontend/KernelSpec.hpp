@@ -20,14 +20,23 @@
 #include <vector>
 
 #include "ir/Instruction.hpp"
+#include "ir/MapKind.hpp"
 #include "ir/Type.hpp"
 
 namespace codesign::frontend {
 
-/// One kernel parameter (a scalar or a device pointer).
+/// One kernel parameter (a scalar or a device pointer). Pointer parameters
+/// may carry a map(to/from/tofrom/alloc) clause; MapKind::None means no
+/// explicit clause, whose implicit default for pointers is tofrom.
 struct ParamSpec {
   ir::Type Ty;
   std::string Name;
+  ir::MapKind Map = ir::MapKind::None;
+
+  /// Clause-carrying pointer parameter: map(<M>: <Name>).
+  static ParamSpec mappedPtr(std::string Name, ir::MapKind M) {
+    return {ir::Type::ptr(), std::move(Name), M};
+  }
 };
 
 /// Where a loop's trip count comes from. `LoadFromArgPtr` models the

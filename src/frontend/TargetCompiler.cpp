@@ -3,6 +3,7 @@
 #include "frontend/Driver.hpp"
 #include "frontend/KernelCache.hpp"
 #include "ir/Verifier.hpp"
+#include "opt/MapInference.hpp"
 #include "opt/PassManager.hpp"
 #include "support/Trace.hpp"
 #include "vgpu/Bytecode.hpp"
@@ -182,6 +183,17 @@ Expected<CompiledKernel> compileUncached(const KernelSpec &Spec,
       return makeError("post-optimization verification failed: ",
                        Errors.front());
     Timing.VerifyMicros += Clock.lap("verify");
+  }
+  {
+    // Static map inference runs after the pipeline — inlining and load
+    // forwarding have made pointer-argument usage directly visible — and
+    // annotates the kernel Function only (no IR mutation, so it is NOT part
+    // of the pipeline string and committed bench baselines are unaffected).
+    // The host runtime's pipeline planner reads the annotations to hoist
+    // transfers; the map lint rules check declared clauses against them.
+    opt::AnalysisManager AM(*CG->AppModule);
+    opt::inferModuleMaps(*CG->AppModule, AM, OptCfg);
+    Timing.OptMicros += Clock.lap("infer-maps");
   }
   CompiledKernel Out;
   Out.Kernel = CG->Kernel;

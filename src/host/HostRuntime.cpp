@@ -61,8 +61,11 @@ Expected<void> HostRuntime::unregisterImage(const ir::Module &M) {
   return {};
 }
 
-Expected<DeviceAddr> HostRuntime::enterData(const void *HostPtr,
-                                            std::uint64_t Size, bool CopyTo) {
+Expected<DeviceAddr> HostRuntime::enterDataImpl(const void *HostPtr,
+                                                std::uint64_t Size,
+                                                bool CopyTo,
+                                                TransferCause Cause,
+                                                TransferStats *Scope) {
   if (!HostPtr || Size == 0)
     return makeError("enterData: null pointer or zero size");
   std::lock_guard<std::mutex> Lock(TableMutex);
@@ -71,6 +74,8 @@ Expected<DeviceAddr> HostRuntime::enterData(const void *HostPtr,
     if (It->second.Size != Size)
       return makeError("enterData: pointer already mapped with a different "
                        "size");
+    // Already present: refcount bump only, no motion (OpenMP present-table
+    // semantics). This is the zero-byte path pre-mapped residency buys.
     ++It->second.RefCount;
     return It->second.Addr;
   }
@@ -82,26 +87,40 @@ Expected<DeviceAddr> HostRuntime::enterData(const void *HostPtr,
   M.Size = Size;
   M.RefCount = 1;
   if (CopyTo)
-    Device.write(M.Addr,
-                 std::span(static_cast<const std::uint8_t *>(HostPtr), Size));
+    Engine.toDevice(M.Addr, HostPtr, Size, Cause, Scope);
   Table.emplace(HostPtr, M);
   return M.Addr;
 }
 
-Expected<void> HostRuntime::exitData(void *HostPtr, bool CopyFrom) {
+Expected<DeviceAddr> HostRuntime::enterData(const void *HostPtr,
+                                            std::uint64_t Size, bool CopyTo,
+                                            TransferStats *Scope) {
+  return enterDataImpl(HostPtr, Size, CopyTo, TransferCause::EnterData,
+                       Scope);
+}
+
+Expected<void> HostRuntime::exitDataImpl(void *HostPtr, bool CopyFrom,
+                                         TransferCause Cause,
+                                         TransferStats *Scope) {
   std::lock_guard<std::mutex> Lock(TableMutex);
   auto It = Table.find(HostPtr);
   if (It == Table.end())
     return makeError("exitData: pointer is not mapped");
   Mapping &M = It->second;
-  if (CopyFrom)
-    Device.read(M.Addr,
-                std::span(static_cast<std::uint8_t *>(HostPtr), M.Size));
   if (--M.RefCount == 0) {
+    // From-motion applies only on the releasing exit: an inner exit of a
+    // nested mapping is bookkeeping, not data motion.
+    if (CopyFrom)
+      Engine.fromDevice(HostPtr, M.Addr, M.Size, Cause, Scope);
     Device.release(M.Addr);
     Table.erase(It);
   }
   return {};
+}
+
+Expected<void> HostRuntime::exitData(void *HostPtr, bool CopyFrom,
+                                     TransferStats *Scope) {
+  return exitDataImpl(HostPtr, CopyFrom, TransferCause::ExitData, Scope);
 }
 
 Expected<void> HostRuntime::updateTo(const void *HostPtr) {
@@ -109,9 +128,8 @@ Expected<void> HostRuntime::updateTo(const void *HostPtr) {
   auto It = Table.find(HostPtr);
   if (It == Table.end())
     return makeError("updateTo: pointer is not mapped");
-  Device.write(It->second.Addr,
-               std::span(static_cast<const std::uint8_t *>(HostPtr),
-                         It->second.Size));
+  Engine.toDevice(It->second.Addr, HostPtr, It->second.Size,
+                  TransferCause::UpdateTo, nullptr);
   return {};
 }
 
@@ -120,9 +138,8 @@ Expected<void> HostRuntime::updateFrom(void *HostPtr) {
   auto It = Table.find(HostPtr);
   if (It == Table.end())
     return makeError("updateFrom: pointer is not mapped");
-  Device.read(It->second.Addr,
-              std::span(static_cast<std::uint8_t *>(HostPtr),
-                        It->second.Size));
+  Engine.fromDevice(HostPtr, It->second.Addr, It->second.Size,
+                    TransferCause::UpdateFrom, nullptr);
   return {};
 }
 
@@ -137,6 +154,12 @@ Expected<DeviceAddr> HostRuntime::lookup(const void *HostPtr) const {
 bool HostRuntime::isPresent(const void *HostPtr) const {
   std::lock_guard<std::mutex> Lock(TableMutex);
   return Table.find(HostPtr) != Table.end();
+}
+
+const ir::Function *HostRuntime::findKernel(std::string_view Name) const {
+  std::lock_guard<std::mutex> Lock(ImagesMutex);
+  auto It = Kernels.find(Name);
+  return It == Kernels.end() ? nullptr : It->second.Kernel;
 }
 
 Expected<LaunchResult> HostRuntime::launch(const LaunchRequest &Request) {
@@ -159,6 +182,22 @@ Expected<LaunchResult> HostRuntime::launch(const LaunchRequest &Request) {
     std::atomic<std::uint32_t> &Count;
     ~Unpin() { Count.fetch_sub(1); }
   } Unpin{*Entry.InFlight};
+  // Per-launch transfer attribution: everything the buffer auto-mapping
+  // below moves lands in Scope and, after the launch, in the profile.
+  TransferStats Scope;
+  // Indices of Buffer arguments this launch mapped; unwound on failure
+  // (no from-motion) and unmapped per their clauses after the launch.
+  std::vector<std::size_t> MappedBufs;
+  auto UnwindBuffers = [&] {
+    for (auto It = MappedBufs.rbegin(); It != MappedBufs.rend(); ++It) {
+      const KernelArg &A = Request.Args[*It];
+      // Rollback is bookkeeping only: a failed launch must not write
+      // half-initialized device bytes back over host data.
+      (void)exitDataImpl(const_cast<void *>(A.HostPtr), /*CopyFrom=*/false,
+                         TransferCause::LaunchUnmap, &Scope);
+    }
+    MappedBufs.clear();
+  };
   std::vector<std::uint64_t> Bits;
   Bits.reserve(Request.Args.size());
   for (std::size_t Idx = 0; Idx < Request.Args.size(); ++Idx) {
@@ -175,12 +214,32 @@ Expected<LaunchResult> HostRuntime::launch(const LaunchRequest &Request) {
     }
     case KernelArg::Kind::MappedPtr: {
       auto Addr = lookup(A.HostPtr);
-      if (!Addr)
+      if (!Addr) {
+        UnwindBuffers();
         return makeError("launch '", Request.Kernel, "': argument #",
                          std::to_string(Idx),
                          " is not device-mapped (map it with enterData "
                          "first): ",
                          Addr.error().message());
+      }
+      Bits.push_back(Addr->Bits);
+      break;
+    }
+    case KernelArg::Kind::Buffer: {
+      // Map for the duration of the launch. When the buffer is already
+      // resident this is a refcount bump and moves nothing.
+      auto Addr = enterDataImpl(A.HostPtr, A.Bytes,
+                                /*CopyTo=*/ir::mapCopiesTo(A.Map),
+                                TransferCause::LaunchMap, &Scope);
+      if (!Addr) {
+        UnwindBuffers();
+        return makeError("launch '", Request.Kernel, "': argument #",
+                         std::to_string(Idx), " could not be mapped (",
+                         ir::mapKindName(A.Map), ", ",
+                         std::to_string(A.Bytes),
+                         " bytes): ", Addr.error().message());
+      }
+      MappedBufs.push_back(Idx);
       Bits.push_back(Addr->Bits);
       break;
     }
@@ -189,6 +248,21 @@ Expected<LaunchResult> HostRuntime::launch(const LaunchRequest &Request) {
   LaunchResult R = Device.launch(*Entry.Image, Entry.Kernel, Bits,
                                  Request.Config.NumTeams,
                                  Request.Config.NumThreads);
+  // Unmap buffer arguments. From-motion follows the clause but is
+  // suppressed when the kernel trapped (its output is not meaningful) and,
+  // per present-table rules, when an outer mapping keeps the buffer
+  // resident — the delayed motion happens at that mapping's releasing exit.
+  for (auto It = MappedBufs.rbegin(); It != MappedBufs.rend(); ++It) {
+    const KernelArg &A = Request.Args[*It];
+    (void)exitDataImpl(const_cast<void *>(A.HostPtr),
+                       /*CopyFrom=*/R.Ok && ir::mapCopiesFrom(A.Map),
+                       TransferCause::LaunchUnmap, &Scope);
+  }
+  R.Profile.TransfersToDevice = Scope.TransfersToDevice;
+  R.Profile.TransfersFromDevice = Scope.TransfersFromDevice;
+  R.Profile.BytesToDevice = Scope.BytesToDevice;
+  R.Profile.BytesFromDevice = Scope.BytesFromDevice;
+  R.Profile.TransferCycles = Scope.ModeledCycles;
   return R;
 }
 

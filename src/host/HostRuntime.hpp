@@ -5,7 +5,11 @@
 // kernels), as well as memory allocation and movement between the host and
 // GPUs." Provides the classic present-table data mapping with reference
 // counts (target enter/exit/update data) and kernel launches that marshal
-// scalar arguments and translate mapped host pointers to device addresses.
+// scalar arguments, translate mapped host pointers to device addresses, and
+// auto-map Buffer arguments per their map(to/from/tofrom/alloc) clauses.
+// Every byte of host<->device motion goes through the owned TransferEngine,
+// which costs and accounts it (per-launch profile, lifetime stats, BENCH
+// JSON "transfers" section).
 //
 // All entry points are safe to call concurrently: the present table and the
 // image/kernel tables are guarded independently, and launches pin their
@@ -27,6 +31,7 @@
 #include <vector>
 
 #include "host/LaunchRequest.hpp"
+#include "host/TransferEngine.hpp"
 #include "support/Error.hpp"
 #include "vgpu/VirtualGPU.hpp"
 
@@ -65,16 +70,23 @@ public:
   // --- Data mapping (present table, reference counted) ----------------------
 
   /// Map [HostPtr, HostPtr+Size) to device memory ("omp target enter
-  /// data"). Increments the reference count when already present (the
-  /// size must then match). CopyTo controls the `to` motion clause.
+  /// data"). Increments the reference count when already present (the size
+  /// must then match) — a re-map of a present pointer moves no bytes.
+  /// CopyTo controls the `to` motion clause and applies only when the
+  /// mapping is created. Scope, when given, additionally accumulates any
+  /// motion (per-pipeline attribution).
   Expected<DeviceAddr> enterData(const void *HostPtr, std::uint64_t Size,
-                                 bool CopyTo = true);
+                                 bool CopyTo = true,
+                                 TransferStats *Scope = nullptr);
 
-  /// Unmap ("omp target exit data"): decrement the reference count;
-  /// CopyFrom performs the `from` motion when given. Storage is released
-  /// when the count reaches zero. Fails with a "pointer is not mapped"
-  /// error for pointers that were never mapped (or already fully unmapped).
-  Expected<void> exitData(void *HostPtr, bool CopyFrom = false);
+  /// Unmap ("omp target exit data"): decrement the reference count.
+  /// Following the OpenMP present-table rules, the `from` motion requested
+  /// with CopyFrom applies only when the reference count reaches zero (the
+  /// storage is then released); an inner exit of a nested mapping moves no
+  /// bytes. Fails with a "pointer is not mapped" error for pointers that
+  /// were never mapped (or already fully unmapped).
+  Expected<void> exitData(void *HostPtr, bool CopyFrom = false,
+                          TransferStats *Scope = nullptr);
 
   /// "omp target update to/from": refresh one direction without changing
   /// reference counts. Fails with a "pointer is not mapped" error for
@@ -92,13 +104,25 @@ public:
     return Table.size();
   }
 
+  /// The data-motion engine every transfer goes through (stats and the
+  /// modeled link cost live there).
+  [[nodiscard]] TransferEngine &transfers() { return Engine; }
+  [[nodiscard]] const TransferEngine &transfers() const { return Engine; }
+
   // --- Kernel launches ---------------------------------------------------------
 
   /// Launch a registered kernel ("omp target teams ..."): the one validated
   /// entry point every path funnels through. Marshals the request's
-  /// arguments (translating mapped pointers), pins the kernel's image for
-  /// the duration, and blocks until completion.
+  /// arguments (translating mapped pointers, auto-mapping Buffer arguments
+  /// for the duration of the launch per their map clauses), pins the
+  /// kernel's image for the duration, and blocks until completion. The
+  /// result's LaunchProfile carries the transfers this launch caused.
   Expected<LaunchResult> launch(const LaunchRequest &Request);
+
+  /// The registered kernel function behind a name, or null. Lets callers
+  /// (the service's pipeline planner, benches) consult declared/inferred
+  /// map clauses before building launch requests.
+  [[nodiscard]] const ir::Function *findKernel(std::string_view Name) const;
 
   /// Classic positional form; thin wrapper that builds a LaunchRequest.
   Expected<LaunchResult> launch(std::string_view KernelName,
@@ -130,7 +154,17 @@ private:
     std::shared_ptr<std::atomic<std::uint32_t>> InFlight;
   };
 
+  /// Map/unmap internals shared by the public entry points and the
+  /// launch-time buffer auto-mapping (which attributes its transfers to a
+  /// per-launch scope under Launch* causes).
+  Expected<DeviceAddr> enterDataImpl(const void *HostPtr, std::uint64_t Size,
+                                     bool CopyTo, TransferCause Cause,
+                                     TransferStats *Scope);
+  Expected<void> exitDataImpl(void *HostPtr, bool CopyFrom,
+                              TransferCause Cause, TransferStats *Scope);
+
   vgpu::VirtualGPU &Device;
+  TransferEngine Engine{Device};
   /// Guards the present table: application host threads may issue
   /// enterData/exitData concurrently (OpenMP target tasks).
   mutable std::mutex TableMutex;

@@ -14,23 +14,40 @@
 #include <string>
 #include <vector>
 
+#include "ir/MapKind.hpp"
 #include "support/Error.hpp"
 
 namespace codesign::host {
 
 /// One kernel argument from the host's perspective.
 struct KernelArg {
-  enum class Kind { I64, F64, MappedPtr };
+  enum class Kind { I64, F64, MappedPtr, Buffer };
   Kind K = Kind::I64;
   std::int64_t I = 0;
   double F = 0.0;
   const void *HostPtr = nullptr;
+  /// Buffer extent in bytes (Kind::Buffer only).
+  std::uint64_t Bytes = 0;
+  /// Motion clause for Kind::Buffer. MapKind::None means "no explicit
+  /// clause": the runtime applies the OpenMP implicit default for pointers,
+  /// tofrom.
+  ir::MapKind Map = ir::MapKind::None;
 
   static KernelArg i64(std::int64_t V) { return {Kind::I64, V, 0.0, nullptr}; }
   static KernelArg f64(double V) { return {Kind::F64, 0, V, nullptr}; }
   /// A pointer previously mapped with enterData; translated at launch.
   static KernelArg mapped(const void *P) {
     return {Kind::MappedPtr, 0, 0.0, P};
+  }
+  /// A host buffer the runtime maps for the duration of the launch
+  /// ("map(to/from/tofrom/alloc: p[0:n])" on the target construct). When the
+  /// buffer is already device-resident (enterData), the launch-time map is a
+  /// pure refcount bump and moves no bytes — the residency optimization the
+  /// map-inference pass exploits. The pointed-to storage must stay valid for
+  /// the launch; from-motion writes back through P.
+  static KernelArg buffer(void *P, std::uint64_t Bytes,
+                          ir::MapKind Map = ir::MapKind::None) {
+    return {Kind::Buffer, 0, 0.0, P, Bytes, Map};
   }
 };
 
@@ -70,6 +87,13 @@ struct LaunchRequest {
     if (Config.NumTeams == 0 || Config.NumThreads == 0)
       return makeError("launch request '", Kernel,
                        "': NumTeams and NumThreads must be nonzero");
+    for (std::size_t Idx = 0; Idx < Args.size(); ++Idx) {
+      const KernelArg &A = Args[Idx];
+      if (A.K == KernelArg::Kind::Buffer && (!A.HostPtr || A.Bytes == 0))
+        return makeError("launch request '", Kernel, "': buffer argument #",
+                         std::to_string(Idx),
+                         " needs a non-null pointer and a nonzero size");
+    }
     return {};
   }
 };

@@ -1,0 +1,92 @@
+#include "host/TransferEngine.hpp"
+
+#include "support/Stats.hpp"
+#include "support/Trace.hpp"
+
+namespace codesign::host {
+
+const char *transferCauseName(TransferCause C) {
+  switch (C) {
+  case TransferCause::EnterData:
+    return "enter_data";
+  case TransferCause::ExitData:
+    return "exit_data";
+  case TransferCause::UpdateTo:
+    return "update_to";
+  case TransferCause::UpdateFrom:
+    return "update_from";
+  case TransferCause::LaunchMap:
+    return "launch_map";
+  case TransferCause::LaunchUnmap:
+    return "launch_unmap";
+  }
+  return "unknown";
+}
+
+std::uint64_t TransferEngine::modeledCycles(std::uint64_t Size) const {
+  const vgpu::CostModel &C = Device.config().Costs;
+  const std::uint64_t PerByte =
+      Size / std::max<std::uint64_t>(C.TransferBytesPerCycle, 1);
+  return C.TransferSetupCycles + PerByte;
+}
+
+void TransferEngine::account(bool ToDevice, std::uint64_t Size,
+                             TransferCause Cause, TransferStats *Scope) {
+  const std::uint64_t Cycles = modeledCycles(Size);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (ToDevice) {
+      ++Total.TransfersToDevice;
+      Total.BytesToDevice += Size;
+    } else {
+      ++Total.TransfersFromDevice;
+      Total.BytesFromDevice += Size;
+    }
+    Total.ModeledCycles += Cycles;
+  }
+  if (Scope) {
+    if (ToDevice) {
+      ++Scope->TransfersToDevice;
+      Scope->BytesToDevice += Size;
+    } else {
+      ++Scope->TransfersFromDevice;
+      Scope->BytesFromDevice += Size;
+    }
+    Scope->ModeledCycles += Cycles;
+  }
+  const char *Dir = ToDevice ? "h2d" : "d2h";
+  Counters::global().add(std::string("host.transfer.") + Dir + ".transfers");
+  Counters::global().add(std::string("host.transfer.") + Dir + ".bytes",
+                         Size);
+  Counters::global().add("host.transfer.modeled_cycles", Cycles);
+  if (trace::Tracer::global().enabled())
+    trace::Tracer::global().span(
+        "transfer", transferCauseName(Cause), Cycles,
+        {{"bytes", Size}, {"h2d", ToDevice ? 1ULL : 0ULL}});
+}
+
+void TransferEngine::toDevice(vgpu::DeviceAddr Dst, const void *Src,
+                              std::uint64_t Size, TransferCause Cause,
+                              TransferStats *Scope) {
+  Device.write(Dst, std::span(static_cast<const std::uint8_t *>(Src), Size));
+  account(/*ToDevice=*/true, Size, Cause, Scope);
+}
+
+void TransferEngine::fromDevice(void *Dst, vgpu::DeviceAddr Src,
+                                std::uint64_t Size, TransferCause Cause,
+                                TransferStats *Scope) {
+  Device.read(Src, std::span(static_cast<std::uint8_t *>(Dst), Size));
+  account(/*ToDevice=*/false, Size, Cause, Scope);
+}
+
+TransferStats TransferEngine::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Total;
+}
+
+void TransferEngine::resetStats() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Total = TransferStats{};
+}
+
+} // namespace codesign::host

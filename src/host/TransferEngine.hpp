@@ -1,0 +1,100 @@
+//===- host/TransferEngine.hpp - Host<->device data-motion engine ----------===//
+//
+// Every byte that crosses the host<->device boundary goes through this
+// engine. It replaces the implicit shared-address-space shortcut the early
+// runtime hid behind updateTo/updateFrom: callers now see explicit
+// device-resident buffers, and every transfer is
+//
+//   * performed (VirtualGPU::write / VirtualGPU::read),
+//   * costed under the device's link model (CostModel::TransferSetupCycles
+//     plus bytes / TransferBytesPerCycle), and
+//   * accounted three ways: the engine-lifetime TransferStats aggregate,
+//     an optional per-scope accumulator (per-launch / per-pipeline
+//     attribution), and the process-wide host.transfer.* counters that
+//     BenchReport folds into the BENCH JSON "transfers" section.
+//
+// The engine is thread-safe; the multi-tenant service drives one engine
+// from many workers.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "vgpu/VirtualGPU.hpp"
+
+namespace codesign::host {
+
+/// Why a transfer happened (diagnostics and trace tags).
+enum class TransferCause : std::uint8_t {
+  EnterData,  ///< map-time `to` motion (enterData / pipeline prologue)
+  ExitData,   ///< unmap-time `from` motion (exitData / pipeline epilogue)
+  UpdateTo,   ///< explicit `omp target update to`
+  UpdateFrom, ///< explicit `omp target update from`
+  LaunchMap,  ///< buffer-argument auto-map at launch
+  LaunchUnmap ///< buffer-argument auto-unmap after launch
+};
+
+/// Stable label for a cause ("enter_data", "launch_map", ...).
+const char *transferCauseName(TransferCause C);
+
+/// Aggregated transfer accounting. Plain data; thread safety is the
+/// engine's job.
+struct TransferStats {
+  std::uint64_t TransfersToDevice = 0;
+  std::uint64_t TransfersFromDevice = 0;
+  std::uint64_t BytesToDevice = 0;
+  std::uint64_t BytesFromDevice = 0;
+  std::uint64_t ModeledCycles = 0;
+
+  [[nodiscard]] std::uint64_t totalTransfers() const {
+    return TransfersToDevice + TransfersFromDevice;
+  }
+  [[nodiscard]] std::uint64_t totalBytes() const {
+    return BytesToDevice + BytesFromDevice;
+  }
+  void accumulate(const TransferStats &O) {
+    TransfersToDevice += O.TransfersToDevice;
+    TransfersFromDevice += O.TransfersFromDevice;
+    BytesToDevice += O.BytesToDevice;
+    BytesFromDevice += O.BytesFromDevice;
+    ModeledCycles += O.ModeledCycles;
+  }
+};
+
+/// The one gate for host<->device data motion.
+class TransferEngine {
+public:
+  explicit TransferEngine(vgpu::VirtualGPU &Device) : Device(Device) {}
+  TransferEngine(const TransferEngine &) = delete;
+  TransferEngine &operator=(const TransferEngine &) = delete;
+
+  /// Copy Size bytes host -> device. Scope, when given, additionally
+  /// accumulates the transfer (per-launch / per-pipeline attribution).
+  void toDevice(vgpu::DeviceAddr Dst, const void *Src, std::uint64_t Size,
+                TransferCause Cause, TransferStats *Scope = nullptr);
+
+  /// Copy Size bytes device -> host.
+  void fromDevice(void *Dst, vgpu::DeviceAddr Src, std::uint64_t Size,
+                  TransferCause Cause, TransferStats *Scope = nullptr);
+
+  /// Modeled link cycles for one transfer of Size bytes.
+  [[nodiscard]] std::uint64_t modeledCycles(std::uint64_t Size) const;
+
+  /// Engine-lifetime totals.
+  [[nodiscard]] TransferStats stats() const;
+  /// Zero the lifetime totals (bench phase isolation). The process-wide
+  /// host.transfer.* counters are reset separately via Counters::reset.
+  void resetStats();
+
+private:
+  void account(bool ToDevice, std::uint64_t Size, TransferCause Cause,
+               TransferStats *Scope);
+
+  vgpu::VirtualGPU &Device;
+  mutable std::mutex Mutex;
+  TransferStats Total;
+};
+
+} // namespace codesign::host

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ir/BasicBlock.hpp"
+#include "ir/MapKind.hpp"
 
 namespace codesign::ir {
 
@@ -83,6 +84,51 @@ public:
   [[nodiscard]] ExecMode execMode() const { return Mode; }
   void setExecMode(ExecMode M) { Mode = M; }
 
+  // --- Data-mapping clauses (kernels only) ----------------------------------
+  //
+  // Two per-argument annotation arrays, both defaulting to MapKind::None:
+  //
+  //   * declared maps — the map(to/from/...) clauses the frontend spec
+  //     carried; what the programmer asked for. None on a pointer argument
+  //     means "no explicit clause" (implicit tofrom).
+  //   * inferred maps — the minimal transfer set the opt/MapInference pass
+  //     proved sufficient; None means the pass has not run (consumers must
+  //     fall back to the declared/implicit clause).
+  //
+  // The arrays are allocated lazily; functions without map clauses pay
+  // nothing.
+
+  /// Declared map clause for argument I (None without a clause).
+  [[nodiscard]] MapKind argMap(unsigned I) const {
+    return I < DeclaredMaps.size() ? DeclaredMaps[I] : MapKind::None;
+  }
+  void setArgMap(unsigned I, MapKind K) {
+    CODESIGN_ASSERT(I < Args.size(), "argMap index out of range");
+    if (DeclaredMaps.size() < Args.size())
+      DeclaredMaps.resize(Args.size(), MapKind::None);
+    DeclaredMaps[I] = K;
+  }
+  /// True when any argument carries an explicit map clause.
+  [[nodiscard]] bool hasMapClauses() const {
+    for (MapKind K : DeclaredMaps)
+      if (K != MapKind::None)
+        return true;
+    return false;
+  }
+
+  /// Map kind the inference pass deduced for argument I (None = not run).
+  [[nodiscard]] MapKind inferredArgMap(unsigned I) const {
+    return I < InferredMaps.size() ? InferredMaps[I] : MapKind::None;
+  }
+  void setInferredArgMap(unsigned I, MapKind K) {
+    CODESIGN_ASSERT(I < Args.size(), "inferredArgMap index out of range");
+    if (InferredMaps.size() < Args.size())
+      InferredMaps.resize(Args.size(), MapKind::None);
+    InferredMaps[I] = K;
+  }
+  /// True when the inference pass annotated this function.
+  [[nodiscard]] bool hasInferredMaps() const { return !InferredMaps.empty(); }
+
   /// True when the function has no body (external declaration). The
   /// optimizer must assume worst-case behaviour for calls to declarations
   /// unless the runtime-info table says otherwise.
@@ -135,6 +181,8 @@ private:
   Module *Parent = nullptr;
   Type RetTy;
   std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<MapKind> DeclaredMaps; ///< lazily sized; see argMap()
+  std::vector<MapKind> InferredMaps; ///< lazily sized; see inferredArgMap()
   std::vector<std::unique_ptr<BasicBlock>> Blocks;
   std::uint32_t AttrMask = 0;
   ExecMode Mode = ExecMode::None;

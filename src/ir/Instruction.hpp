@@ -120,6 +120,25 @@ struct NativeOpFlags {
   /// A divergent native op may behave differently per thread; a uniform one
   /// computes the same value for every thread of the team.
   bool Divergent = true;
+  /// Per-operand refinement of ReadsMemory/WritesMemory for pointer
+  /// operands: bit i set means the native body may read (resp. write)
+  /// memory *through operand i*. The all-ones default is the conservative
+  /// "touches everything it can reach" assumption; frontends that know
+  /// their native bodies (the proxy apps, the mapping bench) narrow the
+  /// masks so the map-inference pass can prove read-only / write-only
+  /// buffer arguments. The masks only refine — a cleared bit is
+  /// meaningless while the corresponding coarse flag is false.
+  std::uint32_t ReadsArgsMask = ~0U;
+  std::uint32_t WritesArgsMask = ~0U;
+
+  /// May the op read memory reachable from operand I?
+  [[nodiscard]] bool readsOperand(unsigned I) const {
+    return ReadsMemory && (I >= 32 || (ReadsArgsMask & (1U << I)) != 0);
+  }
+  /// May the op write memory reachable from operand I?
+  [[nodiscard]] bool writesOperand(unsigned I) const {
+    return WritesMemory && (I >= 32 || (WritesArgsMask & (1U << I)) != 0);
+  }
 };
 
 /// Printable opcode mnemonic.

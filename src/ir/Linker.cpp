@@ -34,6 +34,9 @@ Expected<bool> linkModules(Module &Dst, const Module &Src) {
       Existing = Dst.createFunction(F->name(), F->returnType(),
                                     std::move(Params));
       Existing->setExecMode(F->execMode());
+      for (unsigned I = 0; I < F->numArgs(); ++I)
+        if (F->argMap(I) != MapKind::None)
+          Existing->setArgMap(I, F->argMap(I));
     } else {
       if (Existing->numArgs() != F->numArgs() ||
           Existing->returnType() != F->returnType())

@@ -1,0 +1,56 @@
+//===- ir/MapKind.hpp - OpenMP data-mapping clause kinds -------------------===//
+//
+// The map(to/from/tofrom/alloc) clause vocabulary shared by the frontend
+// DSL (frontend::ParamSpec), the IR (per-argument annotations on kernel
+// Functions), the host runtime (buffer launch arguments) and the static
+// map-inference pass. Lives in its own tiny header so the host layer can
+// name a MapKind without pulling in the whole IR.
+//
+// Semantics follow the OpenMP present-table model: `to` copies host->device
+// when the buffer first becomes present, `from` copies device->host when
+// the last reference is released, `tofrom` does both, `alloc` moves nothing
+// (device storage only). `None` on a pointer means "no explicit clause" —
+// the implicit default for pointers is tofrom (the conservative rule the
+// Bercea et al. implicit-data-sharing study grounds).
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <cstdint>
+
+namespace codesign::ir {
+
+/// One map clause. None = no explicit clause (implicit tofrom for pointers).
+enum class MapKind : std::uint8_t { None, To, From, ToFrom, Alloc };
+
+/// Clause spelling ("to", "from", ...) for printing and diagnostics.
+constexpr const char *mapKindName(MapKind K) {
+  switch (K) {
+  case MapKind::None:
+    return "none";
+  case MapKind::To:
+    return "to";
+  case MapKind::From:
+    return "from";
+  case MapKind::ToFrom:
+    return "tofrom";
+  case MapKind::Alloc:
+    return "alloc";
+  }
+  return "none";
+}
+
+/// True when the clause performs host->device motion at map time. None
+/// counts: the implicit default for a pointer is tofrom.
+constexpr bool mapCopiesTo(MapKind K) {
+  return K == MapKind::To || K == MapKind::ToFrom || K == MapKind::None;
+}
+
+/// True when the clause performs device->host motion at unmap time (when
+/// the present-table reference count reaches zero). None counts: the
+/// implicit default for a pointer is tofrom.
+constexpr bool mapCopiesFrom(MapKind K) {
+  return K == MapKind::From || K == MapKind::ToFrom || K == MapKind::None;
+}
+
+} // namespace codesign::ir

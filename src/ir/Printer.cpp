@@ -19,6 +19,8 @@ public:
       if (I)
         OS << ", ";
       OS << F.arg(I)->type().name() << " " << ref(F.arg(I));
+      if (F.argMap(I) != MapKind::None)
+        OS << " map(" << mapKindName(F.argMap(I)) << ")";
     }
     OS << ")";
     if (F.hasAttr(FnAttr::Kernel))

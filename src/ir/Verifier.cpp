@@ -313,6 +313,18 @@ std::vector<std::string> verifyModule(const Module &M) {
   for (const auto &F : M.functions()) {
     if (F->hasAttr(FnAttr::Kernel) && F->isDeclaration())
       Errors.push_back("kernel '" + F->name() + "' has no body");
+    for (unsigned I = 0; I < F->numArgs(); ++I) {
+      if (F->argMap(I) == MapKind::None)
+        continue;
+      if (!F->hasAttr(FnAttr::Kernel))
+        Errors.push_back("function '" + F->name() +
+                         "' has a map clause but is not a kernel");
+      else if (!F->arg(I)->type().isPointer())
+        Errors.push_back("kernel '" + F->name() + "' argument #" +
+                         std::to_string(I) + " has a map(" +
+                         mapKindName(F->argMap(I)) +
+                         ") clause but is not a pointer");
+    }
     auto FE = verifyFunction(*F);
     Errors.insert(Errors.end(), FE.begin(), FE.end());
   }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "opt/MapInference.hpp"
 #include "rt/RuntimeABI.hpp"
 #include "support/Stats.hpp"
 #include "support/Trace.hpp"
@@ -338,6 +339,70 @@ PassResult runLintAssumeMisuse(ir::Module &M, AnalysisManager &AM,
   return PassResult::unchanged();
 }
 
+PassResult runLintRedundantMap(ir::Module &M, AnalysisManager &AM,
+                               const OptOptions &Options) {
+  RuleRun Run("lint-redundant-map", Options);
+  for (const auto &F : M.functions()) {
+    if (!F->hasAttr(FnAttr::Kernel) || F->isDeclaration() ||
+        !F->hasMapClauses())
+      continue;
+    const std::vector<ArgUsage> Usage = computeArgUsage(*F, AM);
+    for (unsigned I = 0; I < F->numArgs(); ++I) {
+      const MapKind D = F->argMap(I);
+      if (D == MapKind::None)
+        continue;
+      const ArgUsage &U = Usage[I];
+      if (U.Escaped)
+        continue; // no full proof — the declared motion may be needed
+      const std::string Arg = "argument #" + std::to_string(I);
+      if (mapCopiesTo(D) && !U.Read)
+        Run.finding(F->name(),
+                    Arg + ": map(" + mapKindName(D) +
+                        ") copies to the device but the kernel never reads "
+                        "it; map(" +
+                        (U.Written ? "from" : "alloc") + ") suffices");
+      if (mapCopiesFrom(D) && !U.Written)
+        Run.finding(F->name(),
+                    Arg + ": map(" + mapKindName(D) +
+                        ") copies back to the host but the kernel never "
+                        "writes it; map(" +
+                        (U.Read ? "to" : "alloc") + ") suffices");
+    }
+  }
+  return PassResult::unchanged();
+}
+
+PassResult runLintMissingMap(ir::Module &M, AnalysisManager &AM,
+                             const OptOptions &Options) {
+  RuleRun Run("lint-missing-map", Options);
+  for (const auto &F : M.functions()) {
+    if (!F->hasAttr(FnAttr::Kernel) || F->isDeclaration() ||
+        !F->hasMapClauses())
+      continue;
+    const std::vector<ArgUsage> Usage = computeArgUsage(*F, AM);
+    for (unsigned I = 0; I < F->numArgs(); ++I) {
+      const MapKind D = F->argMap(I);
+      if (D == MapKind::None)
+        continue;
+      const ArgUsage &U = Usage[I];
+      if (U.Escaped)
+        continue; // lower bounds only — stay quiet rather than guess
+      const std::string Arg = "argument #" + std::to_string(I);
+      if (!mapCopiesTo(D) && U.Read)
+        Run.finding(F->name(),
+                    Arg + ": the kernel reads it but map(" + mapKindName(D) +
+                        ") performs no to-motion — the kernel sees "
+                        "uninitialized device memory");
+      if (!mapCopiesFrom(D) && U.Written)
+        Run.finding(F->name(),
+                    Arg + ": the kernel writes it but map(" + mapKindName(D) +
+                        ") performs no from-motion — the host never "
+                        "observes the kernel's writes");
+    }
+  }
+  return PassResult::unchanged();
+}
+
 namespace {
 
 /// Pass wrapper for one lint rule.
@@ -372,6 +437,8 @@ void registerLintPasses(PassRegistry &R) {
   Register("lint-barrier-divergence", runLintBarrierDivergence);
   Register("lint-shared-race", runLintSharedRace);
   Register("lint-assume-misuse", runLintAssumeMisuse);
+  Register("lint-redundant-map", runLintRedundantMap);
+  Register("lint-missing-map", runLintMissingMap);
 }
 
 } // namespace codesign::opt

@@ -22,9 +22,10 @@
 
 namespace codesign::opt {
 
-/// Pipeline text running all three lint rules.
+/// Pipeline text running every lint rule.
 inline constexpr std::string_view LintPipeline =
-    "@lint(lint-barrier-divergence,lint-shared-race,lint-assume-misuse)";
+    "@lint(lint-barrier-divergence,lint-shared-race,lint-assume-misuse,"
+    "lint-redundant-map,lint-missing-map)";
 
 /// Rule 1: an aligned barrier inside a divergence-guarded block deadlocks
 /// the team. One Missed remark per offending barrier, carrying the
@@ -49,7 +50,12 @@ PassResult runLintSharedRace(ir::Module &M, AnalysisManager &AM,
 PassResult runLintAssumeMisuse(ir::Module &M, AnalysisManager &AM,
                                const OptOptions &Options);
 
-/// Register the three rules with a pass registry (PassRegistry::global()
+// Rules 4 and 5 — lint-redundant-map / lint-missing-map, declared map
+// clauses vs statically proven argument usage — live in MapInference.hpp
+// next to the inference engine they share; registerLintPasses registers
+// them alongside the three rules above.
+
+/// Register every lint rule with a pass registry (PassRegistry::global()
 /// does this at startup).
 void registerLintPasses(PassRegistry &R);
 

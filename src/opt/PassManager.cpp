@@ -13,6 +13,7 @@
 
 #include "ir/Printer.hpp"
 #include "opt/Lint.hpp"
+#include "opt/MapInference.hpp"
 #include "support/Stats.hpp"
 #include "support/Trace.hpp"
 
@@ -150,6 +151,7 @@ void registerBuiltins(PassRegistry &R) {
                        });
                  });
   registerLintPasses(R);
+  registerMapInferencePasses(R);
 }
 
 /// Split Token into base name and bracket argument. Returns false on a

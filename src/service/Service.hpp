@@ -77,6 +77,17 @@ struct TenantStats {
   StreamingStats LaunchWallMicros; ///< wall time of the launch itself
 };
 
+/// Outcome of a hoisted multi-launch pipeline (submitPipeline): the
+/// per-launch results in submission order, the transfers the pipeline
+/// performed end to end (prologue maps, epilogue unmaps, and whatever the
+/// launches themselves moved), and the number of distinct buffers hoisted
+/// to device residency across the launches.
+struct PipelineResult {
+  std::vector<vgpu::LaunchResult> Launches;
+  host::TransferStats Transfers;
+  std::uint64_t HoistedBuffers = 0;
+};
+
 /// Submission-queue health, for benches and capacity planning.
 struct QueueStats {
   std::size_t Depth = 0;      ///< current queued requests
@@ -116,6 +127,20 @@ public:
   /// launch; marshalling and validation are HostRuntime::launch's.
   Expected<Ticket<vgpu::LaunchResult>> submitLaunch(host::LaunchRequest Request);
 
+  /// Run a sequence of launches as one job with transfer hoisting: every
+  /// Buffer argument appearing in the requests is mapped once before the
+  /// first launch and unmapped once after the last, so the per-launch maps
+  /// inside degrade to refcount bumps that move no bytes. The motion each
+  /// buffer actually needs (to / from / neither) is the union over the
+  /// launches that touch it of the per-argument effective map clause —
+  /// the request's explicit clause when given, else the kernel's declared
+  /// clause, else the clause the static map-inference pass proved, else
+  /// the conservative implicit tofrom. From-motion is skipped when any
+  /// launch failed (partial outputs are not written back).
+  Expected<Ticket<PipelineResult>>
+  submitPipeline(std::string Tenant,
+                 std::vector<host::LaunchRequest> Requests);
+
   // --- Tenant-scoped results (thread-safe) ---------------------------------
 
   /// The tenant's most recent successful launch profile. Errors when the
@@ -146,7 +171,13 @@ private:
   struct Job {
     std::string Tenant;
     std::uint64_t Id = 0;
+    /// Does the work and records its outcome (tenant stats included) but
+    /// must NOT make the outcome observable to the client.
     std::function<void()> Run;
+    /// Fulfills the client's ticket. Invoked by the worker only after the
+    /// request's trace span is recorded, so a client woken by its ticket
+    /// always finds the span in the tracer (no publish-before-trace race).
+    std::function<void()> Publish;
   };
 
   /// Mutable per-tenant state behind TenantStats.
@@ -157,8 +188,10 @@ private:
   };
 
   /// Admission control + enqueue; returns the request id or the rejection.
+  /// Run computes, Publish fulfills the ticket (see Job).
   Expected<std::uint64_t> enqueue(const std::string &Tenant,
-                                  std::function<void()> Run);
+                                  std::function<void()> Run,
+                                  std::function<void()> Publish);
   /// One worker slot: drains jobs until shutdown. Runs as a parallelFor
   /// index of the backing ThreadPool.
   void workerLoop();

@@ -5,7 +5,67 @@
 
 namespace codesign {
 
-void Samples::ensureSorted() const {
+Samples::Samples(const Samples &Other) {
+  std::lock_guard<std::mutex> Lock(Other.Mutex);
+  Values = Other.Values;
+  Sorted = Other.Sorted;
+}
+
+Samples &Samples::operator=(const Samples &Other) {
+  if (this == &Other)
+    return *this;
+  std::scoped_lock Lock(Mutex, Other.Mutex);
+  Values = Other.Values;
+  Sorted = Other.Sorted;
+  return *this;
+}
+
+Samples::Samples(Samples &&Other) noexcept {
+  std::lock_guard<std::mutex> Lock(Other.Mutex);
+  Values = std::move(Other.Values);
+  Sorted = Other.Sorted;
+  Other.Values.clear();
+  Other.Sorted = false;
+}
+
+Samples &Samples::operator=(Samples &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  std::scoped_lock Lock(Mutex, Other.Mutex);
+  Values = std::move(Other.Values);
+  Sorted = Other.Sorted;
+  Other.Values.clear();
+  Other.Sorted = false;
+  return *this;
+}
+
+void Samples::add(double X) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Values.push_back(X);
+  Sorted = false;
+}
+
+void Samples::merge(const Samples &Other) {
+  if (this == &Other) {
+    // Self-merge doubles the set; handle without double-locking (and
+    // without passing self-iterators to insert).
+    std::lock_guard<std::mutex> Lock(Mutex);
+    const std::vector<double> Copy = Values;
+    Values.insert(Values.end(), Copy.begin(), Copy.end());
+    Sorted = false;
+    return;
+  }
+  std::scoped_lock Lock(Mutex, Other.Mutex);
+  Values.insert(Values.end(), Other.Values.begin(), Other.Values.end());
+  Sorted = false;
+}
+
+std::uint64_t Samples::count() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Values.size();
+}
+
+void Samples::ensureSortedLocked() const {
   if (!Sorted) {
     std::sort(Values.begin(), Values.end());
     Sorted = true;
@@ -13,27 +73,39 @@ void Samples::ensureSorted() const {
 }
 
 double Samples::sum() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   return std::accumulate(Values.begin(), Values.end(), 0.0);
 }
 
-double Samples::min() const {
+double Samples::mean() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   if (Values.empty())
     return 0.0;
-  ensureSorted();
+  return std::accumulate(Values.begin(), Values.end(), 0.0) /
+         static_cast<double>(Values.size());
+}
+
+double Samples::min() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Values.empty())
+    return 0.0;
+  ensureSortedLocked();
   return Values.front();
 }
 
 double Samples::max() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   if (Values.empty())
     return 0.0;
-  ensureSorted();
+  ensureSortedLocked();
   return Values.back();
 }
 
 double Samples::percentile(double P) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   if (Values.empty())
     return 0.0;
-  ensureSorted();
+  ensureSortedLocked();
   if (P <= 0.0)
     return Values.front();
   if (P >= 100.0)

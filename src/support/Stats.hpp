@@ -64,26 +64,27 @@ private:
 
 /// Exact sample set for latency-distribution reporting: keeps every
 /// observation so benches can report true percentiles (p50/p95/p99), not
-/// approximations. Not thread-safe by design — each client thread collects
-/// its own Samples and the bench merges them at the end.
+/// approximations. Thread-safe: the read accessors sort lazily, which
+/// mutates internal state from const methods — an internal mutex guards
+/// every member so a reader racing a writer (or another reader) is safe.
+/// Copyable and movable (benches keep Samples inside per-client structs in
+/// vectors); copies snapshot the source under its lock.
 class Samples {
 public:
-  /// Record one observation.
-  void add(double X) {
-    Values.push_back(X);
-    Sorted = false;
-  }
-  /// Fold another sample set into this one.
-  void merge(const Samples &Other) {
-    Values.insert(Values.end(), Other.Values.begin(), Other.Values.end());
-    Sorted = false;
-  }
+  Samples() = default;
+  Samples(const Samples &Other);
+  Samples &operator=(const Samples &Other);
+  Samples(Samples &&Other) noexcept;
+  Samples &operator=(Samples &&Other) noexcept;
 
-  [[nodiscard]] std::uint64_t count() const { return Values.size(); }
+  /// Record one observation.
+  void add(double X);
+  /// Fold another sample set into this one.
+  void merge(const Samples &Other);
+
+  [[nodiscard]] std::uint64_t count() const;
   [[nodiscard]] double sum() const;
-  [[nodiscard]] double mean() const {
-    return Values.empty() ? 0.0 : sum() / static_cast<double>(Values.size());
-  }
+  [[nodiscard]] double mean() const;
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
 
@@ -93,9 +94,11 @@ public:
   [[nodiscard]] double percentile(double P) const;
 
 private:
+  mutable std::mutex Mutex;
   mutable std::vector<double> Values;
   mutable bool Sorted = false;
-  void ensureSorted() const;
+  /// Requires Mutex held.
+  void ensureSortedLocked() const;
 };
 
 /// Process-wide registry of named monotonic counters. Thread-safe; counters

@@ -272,7 +272,9 @@ public:
     Threads.reserve(NumThreads);
     for (std::uint32_t T = 0; T < NumThreads; ++T) {
       Threads.emplace_back(Config.LocalMemPerThread);
-      BCThreadState &TS = Threads.back();
+      // Index, don't cache a reference across the emplace: stays correct
+      // even if the reserve above is ever dropped or sized differently.
+      BCThreadState &TS = Threads[T];
       TS.Tid = T;
       BCFrame F;
       F.BF = KernelBC;
@@ -1279,23 +1281,33 @@ void BCTeamExecutor::stepThread(BCThreadState &T) {
                     CalleeIR->name() + "'");
         return;
       }
+      // Everything needed from the caller frame and its instruction is
+      // copied to locals BEFORE the stack may grow: emplace_back can
+      // reallocate Frames, invalidating F (and any reference derived from
+      // it). I stays valid — it points into the function's code array, not
+      // into Frames.
+      const std::uint32_t RetPC = F.PC + 1;
+      const std::uint32_t CallerDst = I.Dst;
+      const std::uint8_t CallerRetTy = I.TyKind;
+      const std::uint32_t ArgBase = I.T0;
+      const std::uint32_t NumCallArgs = I.T1;
       if (T.Frames.size() == T.Depth)
-        T.Frames.emplace_back(); // may reallocate: F dangles from here on
+        T.Frames.emplace_back();
       BCFrame &Caller = T.Frames[T.Depth - 1];
       BCFrame &NewF = T.Frames[T.Depth];
       NewF.BF = CalleeBC;
       NewF.Code = CalleeBC->Code.data();
       NewF.PC = CalleeBC->Entry;
-      NewF.RetPC = Caller.PC + 1;
-      NewF.CallerDst = I.Dst;
-      NewF.CallerRetTy = I.TyKind;
+      NewF.RetPC = RetPC;
+      NewF.CallerDst = CallerDst;
+      NewF.CallerRetTy = CallerRetTy;
       const std::vector<std::uint64_t> &CalleePool = Pools[CalleeBC->Index];
       NewF.Slots.assign(CalleeBC->NumSlots + CalleePool.size(), 0);
       std::copy(CalleePool.begin(), CalleePool.end(),
                 NewF.Slots.begin() + CalleeBC->NumSlots);
-      for (std::uint32_t A = 0; A < I.T1; ++A)
+      for (std::uint32_t A = 0; A < NumCallArgs; ++A)
         NewF.Slots[A] = canonValK(CalleeBC->ArgTyKinds[A],
-                                  Caller.Slots[Caller.BF->Extras[I.T0 + A]]);
+                                  Caller.Slots[Caller.BF->Extras[ArgBase + A]]);
       NewF.LocalWatermark = T.Local.watermark();
       ++T.Depth;
       T.Cycles += C.CallOverhead;

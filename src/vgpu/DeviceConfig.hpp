@@ -25,6 +25,13 @@ struct CostModel {
   std::uint32_t BarrierCost = 40; ///< team barrier rendezvous
   std::uint32_t CallOverhead = 5; ///< frame setup of a non-inlined call
   std::uint32_t MallocCost = 800; ///< device heap allocation
+  /// Host<->device link model (host::TransferEngine): each transfer pays a
+  /// fixed setup latency plus a per-byte cost. The defaults sketch a
+  /// PCIe-class interconnect relative to the memory numbers above — a
+  /// transfer is catastrophically more expensive than any on-device access,
+  /// which is exactly why inferred minimal mappings matter.
+  std::uint32_t TransferSetupCycles = 2000; ///< per-transfer fixed latency
+  std::uint32_t TransferBytesPerCycle = 16; ///< link bandwidth
 };
 
 /// Which engine executes kernel launches. Both tiers implement the exact

@@ -99,6 +99,18 @@ struct LaunchProfile {
   /// over waiting threads (arrival-to-release, excluding the barrier cost
   /// itself).
   std::uint64_t BarrierWaitCycles = 0;
+  /// Host<->device transfers this launch caused (buffer-argument mapping
+  /// and unmapping). Filled by the host runtime after the device part of
+  /// the launch completes — the values are host-side facts, identical
+  /// across execution tiers and HostThreads settings, and zero for
+  /// launches that move no data (everything already resident).
+  std::uint64_t TransfersToDevice = 0;
+  std::uint64_t TransfersFromDevice = 0;
+  std::uint64_t BytesToDevice = 0;
+  std::uint64_t BytesFromDevice = 0;
+  /// Modeled link cycles of those transfers (CostModel::TransferSetupCycles
+  /// + bytes / TransferBytesPerCycle per transfer).
+  std::uint64_t TransferCycles = 0;
   /// Per-team imbalance: distribution of team cycle totals.
   std::uint32_t Teams = 0;
   std::uint64_t TeamCyclesMin = std::numeric_limits<std::uint64_t>::max();

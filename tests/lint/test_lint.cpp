@@ -201,7 +201,7 @@ TEST(Lint, RulesNeverMutateAndCountRuns) {
   OptOptions Options;
   Options.Pipeline = std::string(LintPipeline);
   EXPECT_FALSE(runPipeline(M, Options)) << "lint is analysis-only";
-  EXPECT_EQ(Counters::global().value("opt.lint.runs"), Before + 3)
+  EXPECT_EQ(Counters::global().value("opt.lint.runs"), Before + 5)
       << "one run per rule";
   EXPECT_GE(Counters::global().value("opt.lint.lint-shared-race.findings"),
             1u);
@@ -222,7 +222,7 @@ void expectLintClean(const apps::AppRunResult &R, const std::string &App) {
   Options.Obs.Remarks = &Collector;
   const std::uint64_t Before = Counters::global().value("opt.lint.runs");
   runPipeline(*R.Module, Options);
-  EXPECT_EQ(Counters::global().value("opt.lint.runs"), Before + 3);
+  EXPECT_EQ(Counters::global().value("opt.lint.runs"), Before + 5);
   for (const Remark &F : Collector.filtered(RemarkKind::Missed))
     ADD_FAILURE() << App << " / " << R.Build << " [" << F.Pass << "] "
                   << F.Function << ": " << F.Message;

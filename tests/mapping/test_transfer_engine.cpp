@@ -1,0 +1,357 @@
+//===- tests/mapping/test_transfer_engine.cpp - Data-motion engine --------===//
+//
+// The transfer engine and the launch-time buffer auto-mapping: every byte
+// of host<->device motion is performed, costed under the device link
+// model, and accounted (engine lifetime, per-launch profile, per-pipeline
+// scope). Failure paths must roll back cleanly — a launch that cannot map
+// all its buffers unmaps the ones it did, device exhaustion mid-sequence
+// leaks nothing, and a failed pipeline skips the from-motion. The update
+// paths are exercised against concurrent unregisterImage (the suite runs
+// under -DCODESIGN_SANITIZE=thread and =undefined).
+//
+//===----------------------------------------------------------------------===//
+#include "host/HostRuntime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ir/IRBuilder.hpp"
+#include "service/Service.hpp"
+
+namespace codesign::host {
+namespace {
+
+using namespace ir;
+
+class TransferTest : public ::testing::Test {
+protected:
+  vgpu::VirtualGPU GPU;
+};
+
+TEST_F(TransferTest, EngineAccountsEveryDirection) {
+  HostRuntime RT(GPU);
+  std::vector<std::uint8_t> Buf(256);
+  ASSERT_TRUE(RT.enterData(Buf.data(), 256).hasValue());         // 1 h2d
+  ASSERT_TRUE(RT.updateTo(Buf.data()).hasValue());               // 1 h2d
+  ASSERT_TRUE(RT.updateFrom(Buf.data()).hasValue());             // 1 d2h
+  ASSERT_TRUE(RT.exitData(Buf.data(), /*CopyFrom=*/true).hasValue()); // 1 d2h
+  const TransferStats S = RT.transfers().stats();
+  EXPECT_EQ(S.TransfersToDevice, 2u);
+  EXPECT_EQ(S.TransfersFromDevice, 2u);
+  EXPECT_EQ(S.BytesToDevice, 512u);
+  EXPECT_EQ(S.BytesFromDevice, 512u);
+  EXPECT_EQ(S.ModeledCycles, 4 * RT.transfers().modeledCycles(256));
+  RT.transfers().resetStats();
+  EXPECT_EQ(RT.transfers().stats().totalTransfers(), 0u);
+}
+
+TEST_F(TransferTest, ModeledCyclesFollowTheLinkModel) {
+  const vgpu::CostModel &CM = GPU.config().Costs;
+  HostRuntime RT(GPU);
+  EXPECT_EQ(RT.transfers().modeledCycles(0), CM.TransferSetupCycles);
+  EXPECT_EQ(RT.transfers().modeledCycles(1024),
+            CM.TransferSetupCycles + 1024 / CM.TransferBytesPerCycle);
+}
+
+TEST_F(TransferTest, RemapOfPresentBufferMovesNoBytes) {
+  // The delayed-motion present-table semantics the pipeline hoisting
+  // relies on: a nested enter is a refcount bump, a nested exit moves
+  // nothing — only the 1 -> 0 exit performs the from-motion.
+  HostRuntime RT(GPU);
+  std::vector<std::uint8_t> Buf(128, 7);
+  ASSERT_TRUE(RT.enterData(Buf.data(), 128).hasValue());
+  const TransferStats After1 = RT.transfers().stats();
+  ASSERT_TRUE(RT.enterData(Buf.data(), 128).hasValue());
+  ASSERT_TRUE(RT.exitData(Buf.data(), /*CopyFrom=*/true).hasValue());
+  const TransferStats After3 = RT.transfers().stats();
+  EXPECT_EQ(After3.totalBytes(), After1.totalBytes())
+      << "inner enter/exit of a present mapping must move no bytes";
+  ASSERT_TRUE(RT.exitData(Buf.data(), /*CopyFrom=*/true).hasValue());
+  EXPECT_EQ(RT.transfers().stats().BytesFromDevice, 128u)
+      << "the 1 -> 0 exit performs the delayed from-motion";
+}
+
+/// out[tid] = in[tid] * 2, hand-lowered (i64 elements).
+void buildDoubleKernel(Module &M) {
+  Function *K = M.createFunction("double_k", Type::voidTy(),
+                                 {Type::ptr(), Type::ptr()});
+  K->addAttr(FnAttr::Kernel);
+  IRBuilder B(M);
+  B.setInsertPoint(K->createBlock("entry"));
+  Value *Off = B.mul(B.zext(B.threadId(), Type::i64()), B.i64(8));
+  Value *V = B.load(Type::i64(), B.gep(K->arg(0), Off));
+  B.store(B.mul(V, B.i64(2)), B.gep(K->arg(1), Off));
+  B.retVoid();
+}
+
+TEST_F(TransferTest, LaunchAutoMapsBuffersPerClause) {
+  Module M;
+  buildDoubleKernel(M);
+  HostRuntime RT(GPU);
+  ASSERT_TRUE(RT.registerImage(M).hasValue());
+  constexpr std::uint32_t T = 8;
+  std::vector<std::int64_t> In(T), Out(T, 0);
+  for (std::uint32_t I = 0; I < T; ++I)
+    In[I] = I + 1;
+  const KernelArg Args[] = {
+      KernelArg::buffer(In.data(), T * 8, ir::MapKind::To),
+      KernelArg::buffer(Out.data(), T * 8, ir::MapKind::From)};
+  auto LR = RT.launch("double_k", Args, 1, T);
+  ASSERT_TRUE(LR.hasValue()) << LR.error().message();
+  ASSERT_TRUE(LR->Ok) << LR->Error;
+  for (std::uint32_t I = 0; I < T; ++I)
+    EXPECT_EQ(Out[I], 2 * (I + 1)) << "element " << I;
+  // The launch's own profile carries exactly its motion: in to the device,
+  // out back from it.
+  EXPECT_EQ(LR->Profile.TransfersToDevice, 1u);
+  EXPECT_EQ(LR->Profile.TransfersFromDevice, 1u);
+  EXPECT_EQ(LR->Profile.BytesToDevice, T * 8u);
+  EXPECT_EQ(LR->Profile.BytesFromDevice, T * 8u);
+  EXPECT_GT(LR->Profile.TransferCycles, 0u);
+  // Auto-maps are scoped to the launch: nothing stays mapped, nothing
+  // leaks on the device.
+  EXPECT_EQ(RT.numMappings(), 0u);
+  EXPECT_EQ(GPU.bytesInUse(), 0u);
+}
+
+TEST_F(TransferTest, LaunchBuffersComposeWithPresentMappings) {
+  // A buffer already mapped by the application keeps its residency across
+  // the launch (refcount discipline): the launch moves no bytes for it and
+  // leaves it mapped.
+  Module M;
+  buildDoubleKernel(M);
+  HostRuntime RT(GPU);
+  ASSERT_TRUE(RT.registerImage(M).hasValue());
+  constexpr std::uint32_t T = 8;
+  std::vector<std::int64_t> In(T, 5), Out(T, 0);
+  ASSERT_TRUE(RT.enterData(In.data(), T * 8).hasValue());
+  const KernelArg Args[] = {
+      KernelArg::buffer(In.data(), T * 8, ir::MapKind::To),
+      KernelArg::buffer(Out.data(), T * 8, ir::MapKind::From)};
+  auto LR = RT.launch("double_k", Args, 1, T);
+  ASSERT_TRUE(LR.hasValue()) << LR.error().message();
+  ASSERT_TRUE(LR->Ok);
+  EXPECT_EQ(LR->Profile.BytesToDevice, 0u)
+      << "the present in-buffer must not be re-copied by the launch";
+  EXPECT_EQ(LR->Profile.BytesFromDevice, T * 8u);
+  EXPECT_TRUE(RT.isPresent(In.data()))
+      << "the application's mapping survives the launch";
+  ASSERT_TRUE(RT.exitData(In.data()).hasValue());
+  EXPECT_EQ(RT.numMappings(), 0u);
+}
+
+TEST_F(TransferTest, FailedLaunchRollsBackItsBufferMaps) {
+  Module M;
+  buildDoubleKernel(M);
+  HostRuntime RT(GPU);
+  ASSERT_TRUE(RT.registerImage(M).hasValue());
+  std::vector<std::int64_t> In(8, 1);
+  int Unmapped = 0;
+  // Argument #1 is a mapped-pointer arg that was never mapped: marshalling
+  // fails after the buffer for argument #0 was already auto-mapped.
+  const KernelArg Args[] = {KernelArg::buffer(In.data(), 64),
+                            KernelArg::mapped(&Unmapped)};
+  auto LR = RT.launch("double_k", Args, 1, 8);
+  ASSERT_FALSE(LR.hasValue());
+  EXPECT_NE(LR.error().message().find("argument #1"), std::string::npos)
+      << LR.error().message();
+  EXPECT_EQ(RT.numMappings(), 0u)
+      << "the failed launch must unwind the buffer it mapped";
+  EXPECT_EQ(GPU.bytesInUse(), 0u);
+}
+
+TEST_F(TransferTest, PartialTransferFailureOnDeviceExhaustion) {
+  // A device big enough for the first buffer but not the second: the
+  // partial-map failure must name the argument, unwind the first buffer,
+  // and leave the runtime fully usable.
+  vgpu::DeviceConfig Small;
+  Small.GlobalMemBytes = 8192;
+  vgpu::VirtualGPU Tiny(Small);
+  Module M;
+  buildDoubleKernel(M);
+  HostRuntime RT(Tiny);
+  ASSERT_TRUE(RT.registerImage(M).hasValue());
+  std::vector<std::int64_t> SmallBuf(64), Huge(4096);
+  const KernelArg Args[] = {
+      KernelArg::buffer(SmallBuf.data(), SmallBuf.size() * 8),
+      KernelArg::buffer(Huge.data(), Huge.size() * 8)};
+  auto LR = RT.launch("double_k", Args, 1, 8);
+  ASSERT_FALSE(LR.hasValue());
+  EXPECT_NE(LR.error().message().find("argument #1"), std::string::npos)
+      << LR.error().message();
+  EXPECT_EQ(RT.numMappings(), 0u);
+  EXPECT_EQ(Tiny.bytesInUse(), 0u) << "partial maps must be released";
+  // Still usable for a well-sized launch.
+  std::vector<std::int64_t> In(8, 3), Out(8, 0);
+  const KernelArg Ok[] = {KernelArg::buffer(In.data(), 64),
+                          KernelArg::buffer(Out.data(), 64)};
+  auto Retry = RT.launch("double_k", Ok, 1, 8);
+  ASSERT_TRUE(Retry.hasValue()) << Retry.error().message();
+  EXPECT_TRUE(Retry->Ok);
+  EXPECT_EQ(Out[0], 6);
+}
+
+TEST_F(TransferTest, UpdatesInterleavedWithConcurrentUnregister) {
+  // Satellite: updateTo/updateFrom error paths while another thread churns
+  // registerImage/unregisterImage and a third remaps its buffer. The locks
+  // involved (present table vs image table) are independent; the test
+  // asserts the operations stay correct — and tsan asserts they are
+  // race-free.
+  Module M;
+  buildDoubleKernel(M);
+  HostRuntime RT(GPU);
+  constexpr int Rounds = 200;
+  std::vector<std::int64_t> Stable(16, 1), Churn(16, 2);
+  ASSERT_TRUE(RT.enterData(Stable.data(), 128).hasValue());
+  std::atomic<bool> Stop{false};
+  std::atomic<unsigned> Errors{0};
+  std::thread Updater([&] {
+    // Updates on a continuously mapped buffer must always succeed.
+    while (!Stop.load()) {
+      if (!RT.updateTo(Stable.data()))
+        Errors.fetch_add(1);
+      if (!RT.updateFrom(Stable.data()))
+        Errors.fetch_add(1);
+    }
+  });
+  std::thread Remapper([&] {
+    // This buffer blinks in and out of the table; updates inside the
+    // mapped window succeed, after the unmap they must fail cleanly.
+    for (int R = 0; R < Rounds; ++R) {
+      ASSERT_TRUE(RT.enterData(Churn.data(), 128).hasValue());
+      if (!RT.updateTo(Churn.data()))
+        Errors.fetch_add(1);
+      ASSERT_TRUE(RT.exitData(Churn.data()).hasValue());
+      if (RT.updateFrom(Churn.data()))
+        Errors.fetch_add(1); // must report "not mapped"
+    }
+  });
+  std::thread Registrar([&] {
+    for (int R = 0; R < Rounds; ++R) {
+      if (!RT.registerImage(M))
+        Errors.fetch_add(1);
+      if (!RT.unregisterImage(M))
+        Errors.fetch_add(1);
+    }
+  });
+  Registrar.join();
+  Remapper.join();
+  Stop.store(true);
+  Updater.join();
+  EXPECT_EQ(Errors.load(), 0u);
+  ASSERT_TRUE(RT.exitData(Stable.data()).hasValue());
+  EXPECT_EQ(RT.numMappings(), 0u);
+}
+
+//===--------------------------------------------------------------------===//
+// Pipeline hoisting through the service.
+//===--------------------------------------------------------------------===//
+
+TEST_F(TransferTest, PipelineHoistsBuffersAcrossLaunches) {
+  Module M;
+  buildDoubleKernel(M);
+  service::Service Svc(GPU);
+  ASSERT_TRUE(
+      Svc.submitRegister("t", std::shared_ptr<Module>(&M, [](Module *) {}))
+          ->get()
+          .hasValue());
+  constexpr std::uint32_t T = 8;
+  std::vector<std::int64_t> A(T, 1), BBuf(T, 0);
+  // double_k twice: A -> B, then B -> A. Naively that is 4 tofrom maps
+  // (8 transfers); hoisted, each buffer moves once per direction.
+  const std::uint64_t Bytes = T * 8;
+  std::vector<host::LaunchRequest> Reqs;
+  Reqs.push_back(host::LaunchRequest::make(
+      "double_k",
+      {KernelArg::buffer(A.data(), Bytes), KernelArg::buffer(BBuf.data(), Bytes)},
+      1, T, "t"));
+  Reqs.push_back(host::LaunchRequest::make(
+      "double_k",
+      {KernelArg::buffer(BBuf.data(), Bytes), KernelArg::buffer(A.data(), Bytes)},
+      1, T, "t"));
+  auto PT = Svc.submitPipeline("t", std::move(Reqs));
+  ASSERT_TRUE(PT.hasValue()) << PT.error().message();
+  auto PR = PT->get();
+  ASSERT_TRUE(PR.hasValue()) << PR.error().message();
+  ASSERT_EQ(PR->Launches.size(), 2u);
+  EXPECT_EQ(PR->HoistedBuffers, 2u);
+  // a=1 -> b=2 -> a=4.
+  for (std::uint32_t I = 0; I < T; ++I) {
+    EXPECT_EQ(A[I], 4) << "element " << I;
+    EXPECT_EQ(BBuf[I], 2) << "element " << I;
+  }
+  // Both buffers are argument #0 (read) in one launch and #1 (written) in
+  // the other, so both need both directions — but exactly once each.
+  EXPECT_EQ(PR->Transfers.TransfersToDevice, 2u);
+  EXPECT_EQ(PR->Transfers.TransfersFromDevice, 2u);
+  EXPECT_EQ(PR->Transfers.BytesToDevice, 2 * Bytes);
+  EXPECT_EQ(PR->Transfers.BytesFromDevice, 2 * Bytes);
+  EXPECT_EQ(Svc.runtime().numMappings(), 0u);
+  EXPECT_EQ(GPU.bytesInUse(), 0u);
+}
+
+TEST_F(TransferTest, FailedPipelineSkipsFromMotion) {
+  Module M;
+  buildDoubleKernel(M);
+  service::Service Svc(GPU);
+  ASSERT_TRUE(
+      Svc.submitRegister("t", std::shared_ptr<Module>(&M, [](Module *) {}))
+          ->get()
+          .hasValue());
+  constexpr std::uint32_t T = 8;
+  std::vector<std::int64_t> A(T, 1), BBuf(T, -7);
+  const std::uint64_t Bytes = T * 8;
+  std::vector<host::LaunchRequest> Reqs;
+  Reqs.push_back(host::LaunchRequest::make(
+      "double_k",
+      {KernelArg::buffer(A.data(), Bytes), KernelArg::buffer(BBuf.data(), Bytes)},
+      1, T, "t"));
+  Reqs.push_back(host::LaunchRequest::make(
+      "no_such_kernel", {KernelArg::buffer(A.data(), Bytes)}, 1, T, "t"));
+  auto PT = Svc.submitPipeline("t", std::move(Reqs));
+  ASSERT_TRUE(PT.hasValue()) << PT.error().message();
+  auto PR = PT->get();
+  ASSERT_FALSE(PR.hasValue()) << "a failed launch must fail the pipeline";
+  EXPECT_NE(PR.error().message().find("pipeline launch failed"),
+            std::string::npos)
+      << PR.error().message();
+  // The from-motion was skipped: the host never sees the partial results
+  // the first launch wrote on the device.
+  for (std::uint32_t I = 0; I < T; ++I)
+    EXPECT_EQ(BBuf[I], -7) << "element " << I;
+  EXPECT_EQ(Svc.runtime().numMappings(), 0u) << "residency must unwind";
+  EXPECT_EQ(GPU.bytesInUse(), 0u);
+}
+
+TEST_F(TransferTest, PipelineRejectsInconsistentBufferSizes) {
+  Module M;
+  buildDoubleKernel(M);
+  service::Service Svc(GPU);
+  ASSERT_TRUE(
+      Svc.submitRegister("t", std::shared_ptr<Module>(&M, [](Module *) {}))
+          ->get()
+          .hasValue());
+  std::vector<std::int64_t> A(8, 0), BBuf(8, 0);
+  std::vector<host::LaunchRequest> Reqs;
+  Reqs.push_back(host::LaunchRequest::make(
+      "double_k",
+      {KernelArg::buffer(A.data(), 64), KernelArg::buffer(BBuf.data(), 64)},
+      1, 8, "t"));
+  Reqs.push_back(host::LaunchRequest::make(
+      "double_k",
+      {KernelArg::buffer(A.data(), 32), KernelArg::buffer(BBuf.data(), 64)},
+      1, 8, "t"));
+  auto PT = Svc.submitPipeline("t", std::move(Reqs));
+  ASSERT_TRUE(PT.hasValue()) << PT.error().message();
+  auto PR = PT->get();
+  ASSERT_FALSE(PR.hasValue());
+  EXPECT_NE(PR.error().message().find("two sizes"), std::string::npos)
+      << PR.error().message();
+}
+
+} // namespace
+} // namespace codesign::host

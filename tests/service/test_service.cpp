@@ -370,6 +370,81 @@ TEST_F(ServiceTest, DestructionDrainsAcceptedRequests) {
   }
 }
 
+TEST_F(ServiceTest, ShutdownStormKeepsAccountingExact) {
+  // Regression (tsan): admission control used to take the tenant-stats lock
+  // while holding the queue lock, and a rejection under a storm could be
+  // double-counted against drain-on-destruction. The invariant: every
+  // submission gets exactly one outcome — a ticket whose future is
+  // fulfilled, or a synchronous rejection billed once — and
+  // Submitted + Rejected equals the attempts, even when the service is
+  // destroyed with most of the work still queued or in flight.
+  std::atomic<bool> Entered{false}, Release{false};
+  auto Gate = gateModule(Entered, Release);
+  constexpr unsigned Clients = 6, PerClient = 40;
+  std::vector<std::vector<Ticket<vgpu::LaunchResult>>> Tickets(Clients);
+  std::vector<std::uint64_t> Rejections(Clients, 0);
+  std::thread Releaser;
+  {
+    ServiceConfig Config;
+    Config.Workers = 1;
+    Config.QueueCapacity = 4;
+    Config.Policy = AdmissionPolicy::Reject;
+    Service Svc(GPU, Config);
+    ASSERT_TRUE(Svc.submitRegister("warm", Gate)->get().hasValue());
+    // Park the only worker inside the gate so the storm genuinely contends
+    // for the four queue slots.
+    auto Running = Svc.submitLaunch(
+        host::LaunchRequest::make("gated_k", {}, 1, 1, "warm"));
+    ASSERT_TRUE(Running.hasValue());
+    while (!Entered.load())
+      std::this_thread::yield();
+    std::vector<std::thread> Threads;
+    for (unsigned C = 0; C < Clients; ++C)
+      Threads.emplace_back([&, C] {
+        const std::string Tenant = "storm" + std::to_string(C);
+        for (unsigned I = 0; I < PerClient; ++I) {
+          auto T = Svc.submitLaunch(
+              host::LaunchRequest::make("gated_k", {}, 1, 1, Tenant));
+          if (T)
+            Tickets[C].push_back(std::move(*T));
+          else
+            ++Rejections[C];
+        }
+      });
+    for (auto &T : Threads)
+      T.join();
+    std::uint64_t TenantRejected = 0;
+    for (unsigned C = 0; C < Clients; ++C) {
+      const TenantStats TS = Svc.tenantStats("storm" + std::to_string(C));
+      EXPECT_EQ(TS.Submitted + TS.Rejected, PerClient)
+          << "tenant storm" << C << ": exactly one outcome per attempt";
+      EXPECT_EQ(TS.Submitted, Tickets[C].size());
+      EXPECT_EQ(TS.Rejected, Rejections[C]);
+      TenantRejected += TS.Rejected;
+    }
+    EXPECT_EQ(Svc.queueStats().Rejected, TenantRejected)
+        << "global and per-tenant rejection accounting must agree";
+    // Destruction begins with the worker still gated and accepted launches
+    // queued; release the gate from a side thread once the drain is
+    // plausibly underway.
+    Releaser = std::thread([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      Release.store(true);
+    });
+    ASSERT_TRUE(Running->get().hasValue());
+    // ~Service drains here.
+  }
+  Releaser.join();
+  for (unsigned C = 0; C < Clients; ++C)
+    for (auto &T : Tickets[C]) {
+      ASSERT_TRUE(T.ready())
+          << "an accepted ticket must be fulfilled by the drain";
+      auto R = T.get();
+      ASSERT_TRUE(R.hasValue()) << R.error().message();
+      EXPECT_TRUE(R->Ok) << R->Error;
+    }
+}
+
 TEST_F(ServiceTest, MixedWorkloadStress) {
   // The tsan workhorse: many client threads interleaving compiles of a few
   // distinct kernels with launches on shared mapped buffers, all against

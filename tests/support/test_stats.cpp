@@ -108,6 +108,50 @@ TEST(Samples, MergeFoldsPerThreadCollections) {
   EXPECT_DOUBLE_EQ(Merged.percentile(50), 3.5);
 }
 
+TEST(Samples, ConcurrentReadersAndWritersAreSafe) {
+  // Regression (tsan): the percentile/min/max accessors sort the sample
+  // vector lazily — a const-looking read that mutates. Concurrent readers
+  // used to race each other (and any writer) on that internal sort; the
+  // accessors must now be safe from any thread.
+  Samples S;
+  for (int I = 0; I < 64; ++I)
+    S.add(static_cast<double>(I));
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 3; ++T)
+    Threads.emplace_back([&S] {
+      for (int I = 0; I < 500; ++I) {
+        (void)S.percentile(50);
+        (void)S.min();
+        (void)S.max();
+        (void)S.mean();
+      }
+    });
+  Threads.emplace_back([&S] {
+    for (int I = 0; I < 500; ++I)
+      S.add(static_cast<double>(I));
+  });
+  Samples Other;
+  Other.add(1.0);
+  Threads.emplace_back([&] {
+    for (int I = 0; I < 200; ++I)
+      S.merge(Other);
+  });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(S.count(), 64u + 500u + 200u);
+  EXPECT_DOUBLE_EQ(S.max(), 499.0);
+}
+
+TEST(Samples, SelfMergeDoublesWithoutCorruption) {
+  Samples S;
+  for (double X : {1.0, 2.0, 3.0})
+    S.add(X);
+  S.merge(S);
+  EXPECT_EQ(S.count(), 6u);
+  EXPECT_DOUBLE_EQ(S.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(S.percentile(100), 3.0);
+}
+
 TEST(Counters, TouchCreatesAtZeroAndAccumulates) {
   Counters &C = Counters::global();
   C.reset();
