@@ -47,8 +47,10 @@ std::vector<AppRunResult> runConfigs(App &A, bool IncludeAssumed = true) {
   return Out;
 }
 
-/// Figure 10-style relative performance: baseline cycles / config cycles
-/// (1.0 = Old RT nightly, the paper's reference).
+/// Figure 10-style relative performance: baseline cycles / config cycles.
+/// The baseline is the first configuration paperBuildConfigs() returns —
+/// the paper's Old RT (Nightly) reference when the legacy runtime is built
+/// in (-DCODESIGN_BUILD_OLDRT=ON), otherwise New RT (Nightly).
 inline double relativePerf(const std::vector<AppRunResult> &R,
                            const AppRunResult &Config) {
   const double Base = static_cast<double>(R.front().Metrics.KernelCycles);

@@ -128,8 +128,9 @@ public:
     Row.set("code_size", json::Value(R.Stats.CodeSize));
     Row.set("app_metric", json::Value(R.AppMetric));
     Row.set("wall_us", json::Value(R.WallMicros));
-    if (!R.ExecTier.empty())
-      Row.set("exec_tier", json::Value(R.ExecTier));
+    if (!R.Backend.empty())
+      Row.set("backend", json::Value(R.Backend));
+    Row.set("output_hash", json::Value(R.OutputHash));
     Row.set("compile", timingJson(R.Compile));
     if (R.Profile.Collected)
       Row.set("profile", profileJson(R.Profile));

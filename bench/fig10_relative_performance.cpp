@@ -35,7 +35,7 @@ void report(BenchReport &Rep, const char *Fig, const char *Name, App &A,
             bool IncludeAssumed) {
   std::printf("\n--- Figure %s: %s ---\n", Fig, Name);
   auto Results = runConfigs(A, IncludeAssumed);
-  Table T({"Build", "Kernel cycles", "Relative perf (Old RT = 1.0)"});
+  Table T({"Build", "Kernel cycles", "Relative perf (baseline = 1.0)"});
   for (const AppRunResult &R : Results) {
     T.startRow();
     T.cell(R.Build);

@@ -281,23 +281,24 @@ int main() {
   Clauses.print(std::cout);
   std::printf("\n");
 
-  // Run every tier x mode combination over fresh host buffers; the
+  // Run every backend x mode combination over fresh host buffers; the
   // reference output is whichever run finished first.
   bool AllOk = true, Identical = true;
   std::vector<double> Golden;
   json::Value Mapping = json::Value::object();
   Mapping.set("inference", std::move(Inference));
-  Table Results({"tier", "mode", "launches", "h2d bytes", "d2h bytes",
+  Table Results({"backend", "mode", "launches", "h2d bytes", "d2h bytes",
                  "modeled cycles"});
   double WorstReduction = 100.0;
-  for (const vgpu::ExecTier Tier :
-       {vgpu::ExecTier::Tree, vgpu::ExecTier::Bytecode}) {
-    // The queue is drained between runs, so retuning the device tier races
-    // with nothing.
+  for (const char *TierName : {"tree", "bytecode", "native"}) {
+    // The queue is drained between runs, so retuning the device backend
+    // races with nothing.
     Svc.drain();
-    GPU.setExecTier(Tier);
-    const char *TierName =
-        Tier == vgpu::ExecTier::Tree ? "tree" : "bytecode";
+    if (auto Set = GPU.setExecBackend(TierName); !Set) {
+      std::fprintf(stderr, "fig_mapping: %s\n", Set.error().message().c_str());
+      AllOk = false;
+      continue;
+    }
     std::uint64_t NaiveBytes = 0;
     for (const bool Inferred : {false, true}) {
       std::vector<double> In(N), Work(N, 0.0), Out(N, 0.0);
@@ -338,7 +339,7 @@ int main() {
 
       json::Value &Row =
           Report.addRow(std::string(TierName) + "/" + Mode);
-      Row.set("exec_tier", json::Value(std::string(TierName)));
+      Row.set("backend", json::Value(std::string(TierName)));
       Row.set("mode", json::Value(std::string(Mode)));
       Row.set("launches", json::Value(R.Launches));
       Row.set("h2d_transfers", json::Value(R.Transfers.TransfersToDevice));

@@ -54,6 +54,21 @@ bool validate(const std::string &File) {
     const Value *Name = Row.find("name");
     if (!Name || !Name->isString() || Name->asString().empty())
       return fail(File, "row without a \"name\" string");
+    // Every successful app run must say which execution backend produced
+    // it — results from different backends are only comparable when the
+    // file records which one ran (tree interpreter, bytecode tier, or the
+    // native codegen backend).
+    const Value *App = Row.find("app");
+    const Value *Ok = Row.find("ok");
+    if (App && App->isString() && Ok && Ok->isBool() && Ok->asBool()) {
+      const Value *Backend = Row.find("backend");
+      if (!Backend || !Backend->isString())
+        return fail(File, "app row without a \"backend\" string");
+      const std::string &B = Backend->asString();
+      if (B != "tree" && B != "bytecode" && B != "native")
+        return fail(File,
+                    "row \"backend\" is not one of tree|bytecode|native");
+    }
   }
   for (const char *Section : {"config", "pass_timings", "kernel_cache",
                               "analysis_cache", "lint", "transfers",

@@ -1,14 +1,19 @@
 #include "apps/AppCommon.hpp"
 
+#include "frontend/Driver.hpp"
+
 namespace codesign::apps {
 
 std::vector<BuildConfig> paperBuildConfigs(bool IncludeAssumed) {
-  std::vector<BuildConfig> Out = {
-      {"Old RT (Nightly)", frontend::CompileOptions::oldRT()},
-      {"New RT (Nightly)", frontend::CompileOptions::newRTNightly()},
-      {"New RT - w/o Assumptions",
-       frontend::CompileOptions::newRTNoAssumptions()},
-  };
+  std::vector<BuildConfig> Out;
+  // The legacy baseline exists only in -DCODESIGN_BUILD_OLDRT=ON builds;
+  // default builds compare the co-designed configurations (and the
+  // execution backends) against each other.
+  if (frontend::hasOldRT())
+    Out.push_back({"Old RT (Nightly)", frontend::CompileOptions::oldRT()});
+  Out.push_back({"New RT (Nightly)", frontend::CompileOptions::newRTNightly()});
+  Out.push_back({"New RT - w/o Assumptions",
+                 frontend::CompileOptions::newRTNoAssumptions()});
   if (IncludeAssumed)
     Out.push_back({"New RT", frontend::CompileOptions::newRT()});
   Out.push_back({"CUDA", frontend::CompileOptions::cuda()});

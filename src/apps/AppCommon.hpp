@@ -58,18 +58,31 @@ struct AppRunResult {
   /// and label this as appropriate: lookups, sites, atom-steps, pairs).
   double AppMetric = 0.0;
   /// Host wall-clock time of the kernel launch, microseconds (steady clock
-  /// around HostRuntime::launch), and the execution tier that produced it.
-  /// Simulated metrics are tier-invariant by construction; WallMicros is
-  /// the real-time cost of producing them, which the bench reports so tier
-  /// speedups are measurable.
+  /// around HostRuntime::launch), and the execution backend that produced
+  /// it. Simulated metrics are backend-invariant by construction (the
+  /// native backend reports no cycle model); WallMicros is the real-time
+  /// cost of producing them, which the bench reports so backend speedups
+  /// are measurable.
   std::uint64_t WallMicros = 0;
-  std::string ExecTier;
+  std::string Backend;
+  /// FNV-1a hash of the kernel's device-visible output buffers, read back
+  /// after the launch. The backend parity suite asserts this is
+  /// bit-identical across the tree, bytecode, and native engines.
+  std::uint64_t OutputHash = 0;
 };
 
-/// Stable spelling of an execution tier for reports and JSON.
-inline const char *execTierName(vgpu::ExecTier Tier) {
-  return Tier == vgpu::ExecTier::Tree ? "tree" : "bytecode";
+/// FNV-1a over a byte range; the apps fold each output buffer through this
+/// to produce AppRunResult::OutputHash.
+inline std::uint64_t fnv1a(std::uint64_t H, const void *Data,
+                           std::size_t Size) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  for (std::size_t I = 0; I < Size; ++I) {
+    H ^= P[I];
+    H *= 0x100000001B3ULL;
+  }
+  return H;
 }
+constexpr std::uint64_t FnvSeed = 0xCBF29CE484222325ULL;
 
 /// Keeps exactly one compiled app module registered with a HostRuntime.
 /// Apps compile the same kernel name once per build configuration, and the

@@ -135,7 +135,7 @@ AppRunResult GridMini::run(const BuildConfig &Build) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - WallStart)
           .count());
-  Result.ExecTier = execTierName(GPU.config().Tier);
+  Result.Backend = GPU.execBackend();
   if (!LR || !LR->Ok) {
     Result.Error = LR ? LR->Error : LR.error().message();
     return Result;
@@ -145,6 +145,7 @@ AppRunResult GridMini::run(const BuildConfig &Build) {
   Result.Profile = LR->Profile;
   CODESIGN_ASSERT(Host.updateFrom(FieldOut.data()).hasValue(),
                   "readback failed");
+  Result.OutputHash = fnv1a(FnvSeed, FieldOut.data(), FieldOut.size() * 8);
   Result.Verified = true;
   double Ref[18];
   for (std::uint64_t S = 0; S < Cfg.Volume && Result.Verified; ++S) {

@@ -163,7 +163,7 @@ AppRunResult MiniFMM::run(const BuildConfig &Build) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - WallStart)
           .count());
-  Result.ExecTier = execTierName(GPU.config().Tier);
+  Result.Backend = GPU.execBackend();
   if (!LR || !LR->Ok) {
     Result.Error = LR ? LR->Error : LR.error().message();
     return Result;
@@ -175,6 +175,11 @@ AppRunResult MiniFMM::run(const BuildConfig &Build) {
                       Host.updateFrom(TeamMarks.data()).hasValue() &&
                       Host.updateFrom(TaskCount.data()).hasValue(),
                   "readback failed");
+  Result.OutputHash = fnv1a(FnvSeed, Out.data(), Out.size() * 8);
+  Result.OutputHash =
+      fnv1a(Result.OutputHash, TeamMarks.data(), TeamMarks.size() * 8);
+  Result.OutputHash =
+      fnv1a(Result.OutputHash, TaskCount.data(), TaskCount.size() * 8);
 
   Result.Verified = true;
   const std::uint64_t NPairs =

@@ -166,7 +166,7 @@ AppRunResult RSBench::run(const BuildConfig &Build) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - WallStart)
           .count());
-  Result.ExecTier = execTierName(GPU.config().Tier);
+  Result.Backend = GPU.execBackend();
   if (!LR || !LR->Ok) {
     Result.Error = LR ? LR->Error : LR.error().message();
     return Result;
@@ -175,6 +175,7 @@ AppRunResult RSBench::run(const BuildConfig &Build) {
   Result.Metrics = LR->Metrics;
   Result.Profile = LR->Profile;
   CODESIGN_ASSERT(Host.updateFrom(Out.data()).hasValue(), "readback failed");
+  Result.OutputHash = fnv1a(FnvSeed, Out.data(), Out.size() * 8);
   Result.Verified = true;
   for (std::uint64_t I = 0; I < Cfg.NLookups; ++I)
     if (std::fabs(Out[I] - referenceLookup(I)) > 1e-9) {

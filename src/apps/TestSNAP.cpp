@@ -136,7 +136,7 @@ AppRunResult TestSNAP::run(const BuildConfig &Build) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - WallStart)
           .count());
-  Result.ExecTier = execTierName(GPU.config().Tier);
+  Result.Backend = GPU.execBackend();
   if (!LR || !LR->Ok) {
     Result.Error = LR ? LR->Error : LR.error().message();
     return Result;
@@ -146,6 +146,7 @@ AppRunResult TestSNAP::run(const BuildConfig &Build) {
   Result.Profile = LR->Profile;
   CODESIGN_ASSERT(Host.updateFrom(Forces.data()).hasValue(),
                   "readback failed");
+  Result.OutputHash = fnv1a(FnvSeed, Forces.data(), Forces.size() * 8);
   Result.Verified = true;
   for (std::uint64_t P = 0; P < NPairs; ++P)
     if (std::fabs(Forces[P] - referencePair(P)) > 1e-9) {

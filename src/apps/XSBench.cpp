@@ -242,7 +242,7 @@ AppRunResult XSBench::run(const BuildConfig &Build) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - WallStart)
           .count());
-  Result.ExecTier = execTierName(GPU.config().Tier);
+  Result.Backend = GPU.execBackend();
   if (!LR || !LR->Ok) {
     Result.Error = LR ? LR->Error : LR.error().message();
     return Result;
@@ -253,6 +253,7 @@ AppRunResult XSBench::run(const BuildConfig &Build) {
 
   auto Back = Host.updateFrom(Out.data());
   CODESIGN_ASSERT(Back.hasValue(), "output readback failed");
+  Result.OutputHash = fnv1a(FnvSeed, Out.data(), Out.size() * 8);
   Result.Verified = true;
   for (std::uint64_t I = 0; I < Cfg.NLookups; ++I)
     if (std::fabs(Out[I] - referenceLookup(I)) > 1e-9) {

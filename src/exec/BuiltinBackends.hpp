@@ -1,0 +1,19 @@
+//===- exec/BuiltinBackends.hpp - Built-in backend factories ---------------===//
+//
+// Internal to src/exec: factories the registry uses to construct the three
+// built-in backends. Consumers select backends by name via BackendRegistry.
+//
+//===----------------------------------------------------------------------===//
+#pragma once
+
+#include <memory>
+
+namespace codesign::exec {
+
+class Backend;
+
+std::unique_ptr<Backend> makeTreeBackend();
+std::unique_ptr<Backend> makeBytecodeBackend();
+std::unique_ptr<Backend> makeNativeBackend();
+
+} // namespace codesign::exec

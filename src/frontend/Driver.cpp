@@ -1,10 +1,20 @@
 #include "frontend/Driver.hpp"
 
 #include "ir/Linker.hpp"
-#include "oldrt/OldDeviceRTL.hpp"
 #include "rt/DeviceRTL.hpp"
+#ifdef CODESIGN_HAS_OLDRT
+#include "oldrt/OldDeviceRTL.hpp"
+#endif
 
 namespace codesign::frontend {
+
+bool hasOldRT() {
+#ifdef CODESIGN_HAS_OLDRT
+  return true;
+#else
+  return false;
+#endif
+}
 
 Expected<bool> linkRuntime(ir::Module &AppModule, RuntimeKind Kind) {
   switch (Kind) {
@@ -15,8 +25,14 @@ Expected<bool> linkRuntime(ir::Module &AppModule, RuntimeKind Kind) {
     return ir::linkModules(AppModule, *RTL);
   }
   case RuntimeKind::OldRT: {
+#ifdef CODESIGN_HAS_OLDRT
     auto RTL = oldrt::buildOldDeviceRTL();
     return ir::linkModules(AppModule, *RTL);
+#else
+    return makeError(
+        "the legacy old-runtime baseline is not part of this build; "
+        "configure with -DCODESIGN_BUILD_OLDRT=ON to compare against it");
+#endif
   }
   }
   CODESIGN_UNREACHABLE("bad runtime kind");

@@ -10,4 +10,10 @@ namespace codesign::frontend {
 /// "bitcode library" before any optimization runs.
 Expected<bool> linkRuntime(ir::Module &AppModule, RuntimeKind Kind);
 
+/// True when the legacy pre-co-design runtime was compiled in
+/// (-DCODESIGN_BUILD_OLDRT=ON). When false, RuntimeKind::OldRT fails
+/// linkRuntime with an explicit error, and paperBuildConfigs() omits the
+/// "Old RT (Nightly)" baseline.
+bool hasOldRT();
+
 } // namespace codesign::frontend

@@ -128,8 +128,18 @@ Expected<CompiledKernel> compileKernel(const KernelSpec &Spec,
   KernelCache::Outcome Outcome = KernelCache::Outcome::Miss;
   auto Result = KernelCache::global().getOrCompile(
       Key,
-      [&] { return compileUncached(Spec, Options, Registry, OptCfg,
-                                   Pipeline); },
+      [&] {
+        auto Compiled =
+            compileUncached(Spec, Options, Registry, OptCfg, Pipeline);
+        // Stamp the content key on the module before the cache publishes
+        // it: execution backends (the native backend's shared-object cache)
+        // memoize per-module work keyed on it instead of re-hashing IR.
+        // Stamping inside the single-flight compile keeps the write
+        // pre-publication, so concurrent readers never observe a mutation.
+        if (Compiled)
+          Compiled->M->setCacheKey(Key);
+        return Compiled;
+      },
       &Outcome);
   if (!Result)
     return Result;

@@ -83,8 +83,18 @@ public:
   /// and for the feature-pruning bench).
   [[nodiscard]] std::size_t instructionCount() const;
 
+  // --- Content identity -------------------------------------------------------
+
+  /// Content key assigned by the frontend's kernel cache (empty when the
+  /// module was built outside the cacheable compile path). Execution
+  /// backends that memoize expensive per-module work — the native backend's
+  /// compiled shared objects — key on this instead of re-hashing the IR.
+  [[nodiscard]] const std::string &cacheKey() const { return CacheKey; }
+  void setCacheKey(std::string K) { CacheKey = std::move(K); }
+
 private:
   std::string ModName;
+  std::string CacheKey;
   std::vector<std::unique_ptr<Function>> Funcs;
   std::vector<std::unique_ptr<GlobalVariable>> Globals;
   std::map<std::string, Function *, std::less<>> FuncIndex;

@@ -4,8 +4,8 @@
 // (vgpu/Bytecode.hpp). The execution model is the tree interpreter's, bit
 // for bit: threads run serially until they block at a team barrier, all
 // trap messages, metrics, profiles and memory effects are identical — the
-// tree walker stays available behind DeviceConfig::Tier as a differential
-// oracle for exactly this property.
+// tree walker stays available behind the "tree" execution backend as a
+// differential oracle for exactly this property.
 //
 // On top of that, the bytecode tier adds warp-batched execution of
 // provably uniform instructions: within an aligned segment (kernel entry

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace codesign::vgpu {
 
@@ -32,18 +33,6 @@ struct CostModel {
   /// which is exactly why inferred minimal mappings matter.
   std::uint32_t TransferSetupCycles = 2000; ///< per-transfer fixed latency
   std::uint32_t TransferBytesPerCycle = 16; ///< link bandwidth
-};
-
-/// Which engine executes kernel launches. Both tiers implement the exact
-/// same observable semantics — outputs, trap messages, metrics and
-/// profiles are bit-identical — so the slow tier doubles as a differential
-/// oracle for the fast one (tests/vgpu/test_bytecode.cpp).
-enum class ExecTier : std::uint8_t {
-  /// Walk the IR instruction tree directly (the original engine).
-  Tree,
-  /// Execute dense register-allocated bytecode lowered once per module,
-  /// with warp-batched broadcast of provably uniform instructions.
-  Bytecode,
 };
 
 /// Static device shape.
@@ -87,10 +76,12 @@ struct DeviceConfig {
   /// This is the dynamic oracle behind the static lint passes; off by
   /// default — the shadow map costs per-access work.
   bool DetectRaces = false;
-  /// Execution engine. Bytecode is the default; the tree walker remains
-  /// selectable (VirtualGPU honors the CODESIGN_EXEC_TIER environment
-  /// variable) for differential testing and as the semantic reference.
-  ExecTier Tier = ExecTier::Bytecode;
+  /// Execution backend, by exec::BackendRegistry name. "bytecode" is the
+  /// default; "tree" (the IR-walking engine, bit-identical semantic
+  /// reference) and "native" (host-compiled C++ codegen, the raw-speed
+  /// ceiling) remain selectable — VirtualGPU honors the
+  /// CODESIGN_EXEC_BACKEND environment variable — for differential runs.
+  std::string ExecBackend = "bytecode";
   CostModel Costs;
 };
 

@@ -1,15 +1,12 @@
 #include "vgpu/Interpreter.hpp"
 
-#include "vgpu/BytecodeExecutor.hpp"
 #include "vgpu/IntOps.hpp"
-#include "vgpu/KernelStats.hpp"
 
 #include <atomic>
 #include <cstring>
 
 #include "ir/BasicBlock.hpp"
 #include "rt/RuntimeABI.hpp"
-#include "support/ThreadPool.hpp"
 
 namespace codesign::vgpu {
 
@@ -1307,142 +1304,22 @@ void TeamExecutor::stepThread(ThreadState &T) {
 } // namespace
 
 //===----------------------------------------------------------------------===//
-// KernelLauncher
+// Tree-tier team entry point
 //===----------------------------------------------------------------------===//
 
-LaunchResult KernelLauncher::launch(const ModuleImage &Image,
-                                    const Function *Kernel,
-                                    std::span<const std::uint64_t> Args,
-                                    std::uint32_t NumTeams,
-                                    std::uint32_t NumThreads) {
-  LaunchResult Result;
-  if (!Kernel->hasAttr(ir::FnAttr::Kernel)) {
-    Result.Error = "function '" + Kernel->name() + "' is not a kernel";
-    return Result;
-  }
-  if (Args.size() != Kernel->numArgs()) {
-    Result.Error = "kernel argument count mismatch";
-    return Result;
-  }
-  if (NumThreads == 0 || NumThreads > Config.MaxThreadsPerTeam ||
-      NumTeams == 0) {
-    Result.Error = "invalid launch configuration";
-    return Result;
-  }
-  if (Image.sharedStaticSize() > Config.SharedMemPerTeam) {
-    Result.Error = "static shared memory exceeds device capacity";
-    return Result;
-  }
-
-  // Occupancy: how many teams one SM can host concurrently, limited by
-  // shared memory and register usage (the Figure 11 -> Figure 10 link).
-  const KernelStaticStats Stats = computeKernelStats(*Kernel, Registry);
-  std::uint32_t Occupancy = Config.MaxConcurrentTeamsPerSM;
-  if (Stats.SharedMemBytes > 0)
-    Occupancy = std::min<std::uint32_t>(
-        Occupancy,
-        static_cast<std::uint32_t>(Config.SharedMemPerTeam /
-                                   Stats.SharedMemBytes));
-  const std::uint64_t RegsPerTeam =
-      static_cast<std::uint64_t>(Stats.Registers) * NumThreads;
-  if (RegsPerTeam > 0)
-    Occupancy = std::min<std::uint32_t>(
-        Occupancy,
-        static_cast<std::uint32_t>(Config.RegisterFilePerSM / RegsPerTeam));
-  Occupancy = std::max<std::uint32_t>(Occupancy, 1);
-  Result.Metrics.TeamsPerSM = Occupancy;
-
-  // Execute the teams. Each team runs against a private metrics shard and
-  // touches no mutable state besides global memory (reached via atomics),
-  // so teams can execute on any number of host threads. The shards are
-  // merged in team-ID order below, which makes every reported number — and
-  // the error reported for a trapping launch — bit-identical to a serial
-  // run. On failure the merge reports the lowest-numbered trapping team —
-  // exactly the team a serial sweep would have stopped at (every team below
-  // it completes cleanly in both modes).
-  struct TeamOutcome {
-    bool Ran = false;
-    std::optional<std::string> Err;
-    LaunchMetrics Metrics;
-    LaunchProfile Profile;
-    std::uint64_t Cycles = 0;
-  };
-  std::vector<TeamOutcome> Outcomes(NumTeams);
-  // Bytecode tier: materialize the module's lowering and this image's
-  // resolved constant pools once, before the team fan-out (the lazy cache
-  // is mutex-guarded, but paying the lowering under contention would skew
-  // the first team's wall time).
-  const BytecodeModule *BC = nullptr;
-  const std::vector<std::vector<std::uint64_t>> *BCPools = nullptr;
-  if (Config.Tier == ExecTier::Bytecode) {
-    BC = &Image.bytecode();
-    BCPools = &Image.bytecodePools();
-  }
-  const auto RunTeam = [&](std::uint64_t Team) {
-    TeamOutcome &Out = Outcomes[Team];
-    if (BC) {
-      BCTeamResult R = runBytecodeTeam(
-          Config, GM, Registry, Image, *BC, *BCPools,
-          static_cast<std::uint32_t>(Team), NumTeams, NumThreads, Kernel,
-          Args, Out.Metrics, Config.CollectProfile ? &Out.Profile : nullptr);
-      Out.Err = std::move(R.Err);
-      Out.Cycles = R.Cycles;
-    } else {
-      TeamExecutor Exec(Config, GM, Registry, Image,
-                        static_cast<std::uint32_t>(Team), NumTeams, NumThreads,
-                        Kernel, Args, Out.Metrics,
-                        Config.CollectProfile ? &Out.Profile : nullptr);
-      Out.Err = Exec.run();
-      Out.Cycles = Exec.teamCycles();
-    }
-    Out.Ran = true;
-  };
-  const std::uint32_t Workers = std::min<std::uint32_t>(
-      support::resolveHostThreads(Config.HostThreads), NumTeams);
-  if (Workers <= 1) {
-    // Serial fallback: execute in the caller, stopping at the first trap
-    // like the original engine.
-    for (std::uint32_t Team = 0; Team < NumTeams; ++Team) {
-      RunTeam(Team);
-      if (Outcomes[Team].Err)
-        break;
-    }
-  } else {
-    support::ThreadPool Pool(Workers);
-    Pool.parallelFor(NumTeams, RunTeam);
-  }
-
-  // Deterministic merge in team-ID order.
-  std::vector<std::vector<std::uint64_t>> PerSM(Config.NumSMs);
-  for (std::uint32_t Team = 0; Team < NumTeams; ++Team) {
-    TeamOutcome &Out = Outcomes[Team];
-    if (!Out.Ran)
-      break; // serial fallback stopped at a lower team's trap
-    if (Out.Err) {
-      Result.Error = *Out.Err;
-      return Result;
-    }
-    Result.Metrics.accumulate(Out.Metrics);
-    if (Config.CollectProfile) {
-      Result.Profile.Collected = true;
-      Result.Profile.accumulate(Out.Profile);
-      Result.Profile.addTeam(Out.Cycles);
-    }
-    PerSM[Team % Config.NumSMs].push_back(Out.Cycles);
-  }
-  // Wall time per SM: its teams run in waves of `Occupancy`.
-  for (const auto &Teams : PerSM) {
-    std::uint64_t Wall = 0;
-    for (std::size_t I = 0; I < Teams.size(); I += Occupancy) {
-      std::uint64_t BatchMax = 0;
-      for (std::size_t J = I; J < std::min(Teams.size(), I + Occupancy); ++J)
-        BatchMax = std::max(BatchMax, Teams[J]);
-      Wall += BatchMax;
-    }
-    Result.Metrics.KernelCycles = std::max(Result.Metrics.KernelCycles, Wall);
-  }
-  Result.Ok = true;
-  return Result;
+TeamRunOutcome runTreeTeam(const DeviceConfig &Config, GlobalMemory &GM,
+                           const NativeRegistry &Registry,
+                           const ModuleImage &Image, std::uint32_t TeamId,
+                           std::uint32_t NumTeams, std::uint32_t NumThreads,
+                           const Function *Kernel,
+                           std::span<const std::uint64_t> Args,
+                           LaunchMetrics &Metrics, LaunchProfile *Profile) {
+  TeamExecutor Exec(Config, GM, Registry, Image, TeamId, NumTeams, NumThreads,
+                    Kernel, Args, Metrics, Profile);
+  TeamRunOutcome Out;
+  Out.Err = Exec.run();
+  Out.Cycles = Exec.teamCycles();
+  return Out;
 }
 
 } // namespace codesign::vgpu

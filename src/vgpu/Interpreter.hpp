@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -120,27 +121,25 @@ struct LaunchResult {
   LaunchProfile Profile;  ///< populated when Ok and DeviceConfig::CollectProfile
 };
 
-/// Launches kernels from a ModuleImage onto the virtual device. Teams are
-/// executed on DeviceConfig::HostThreads host threads (they share no
-/// mutable state except global memory reached via atomics); per-team
-/// metrics accumulate into private shards that are merged in team-ID
-/// order, so every reported number is bit-identical to a serial run.
-class KernelLauncher {
-public:
-  KernelLauncher(const DeviceConfig &Config, GlobalMemory &GM,
-                 const NativeRegistry &Registry)
-      : Config(Config), GM(GM), Registry(Registry) {}
-
-  /// Execute Kernel over NumTeams x NumThreads with the given argument bits
-  /// (one entry per kernel parameter, in the IR value encoding).
-  LaunchResult launch(const ModuleImage &Image, const Function *Kernel,
-                      std::span<const std::uint64_t> Args,
-                      std::uint32_t NumTeams, std::uint32_t NumThreads);
-
-private:
-  const DeviceConfig &Config;
-  GlobalMemory &GM;
-  const NativeRegistry &Registry;
+/// Outcome of one team's execution under the tree interpreter (the
+/// per-team entry point the exec::Backend architecture fans out over;
+/// launch orchestration lives in exec/LaunchEngine.cpp).
+struct TeamRunOutcome {
+  std::optional<std::string> Err; ///< trap/deadlock message, empty = clean
+  std::uint64_t Cycles = 0;       ///< the team's modeled wall time
 };
+
+/// Execute team TeamId of a launch by walking the IR instruction tree
+/// directly (the original engine, kept as the semantic reference). Teams
+/// share no mutable state except global memory reached via atomics, so
+/// distinct teams may run concurrently; Metrics/Profile are this team's
+/// private shards.
+TeamRunOutcome runTreeTeam(const DeviceConfig &Config, GlobalMemory &GM,
+                           const NativeRegistry &Registry,
+                           const ModuleImage &Image, std::uint32_t TeamId,
+                           std::uint32_t NumTeams, std::uint32_t NumThreads,
+                           const Function *Kernel,
+                           std::span<const std::uint64_t> Args,
+                           LaunchMetrics &Metrics, LaunchProfile *Profile);
 
 } // namespace codesign::vgpu

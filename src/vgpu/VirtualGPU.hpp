@@ -11,6 +11,8 @@
 #include <memory>
 #include <string_view>
 
+#include "exec/Backend.hpp"
+#include "support/Trace.hpp"
 #include "vgpu/Interpreter.hpp"
 
 namespace codesign::vgpu {
@@ -20,15 +22,32 @@ class VirtualGPU {
 public:
   explicit VirtualGPU(DeviceConfig Config = {})
       : Config(std::move(Config)), GM(this->Config.GlobalMemBytes) {
-    // Runtime knob for differential runs: CODESIGN_EXEC_TIER=tree|bytecode
-    // overrides the configured execution engine without recompiling the
-    // harness (bench/ and the tier-differential tests rely on this).
-    if (const char *Env = std::getenv("CODESIGN_EXEC_TIER")) {
-      const std::string_view V(Env);
-      if (V == "tree" || V == "interp" || V == "interpreter")
-        this->Config.Tier = ExecTier::Tree;
-      else if (V == "bytecode" || V == "bc")
-        this->Config.Tier = ExecTier::Bytecode;
+    // Runtime knob for differential runs: CODESIGN_EXEC_BACKEND=
+    // tree|bytecode|native overrides the configured execution backend
+    // without recompiling the harness (bench/ and the backend-parity tests
+    // rely on this). The old CODESIGN_EXEC_TIER spelling still works as a
+    // deprecated alias. Unknown values are rejected: the error is latched
+    // and every launch on this device reports it, instead of the old
+    // behavior of silently running the default engine — a typo in a
+    // differential harness must not quietly compare a backend to itself.
+    const char *Env = std::getenv("CODESIGN_EXEC_BACKEND");
+    const char *Var = "CODESIGN_EXEC_BACKEND";
+    if (!Env) {
+      Env = std::getenv("CODESIGN_EXEC_TIER");
+      Var = "CODESIGN_EXEC_TIER";
+      if (Env && trace::Tracer::global().enabled())
+        trace::Tracer::global().instant(
+            "vgpu", "exec.backend.deprecated-knob");
+    }
+    if (Env) {
+      auto Canon = exec::canonicalBackendName(Env);
+      if (Canon) {
+        this->Config.ExecBackend = *Canon;
+      } else {
+        BackendError = std::string(Var) + ": " + Canon.error().message();
+        if (trace::Tracer::global().enabled())
+          trace::Tracer::global().instant("vgpu", "exec.backend.unknown");
+      }
     }
   }
 
@@ -90,25 +109,37 @@ public:
     return Image;
   }
 
-  /// Launch a kernel by function pointer.
+  /// Launch a kernel by function pointer through the configured execution
+  /// backend, or through BackendOverride when non-empty (per-request
+  /// routing for the host runtime and service).
   LaunchResult launch(const ModuleImage &Image, const Function *Kernel,
                       std::span<const std::uint64_t> Args,
-                      std::uint32_t NumTeams, std::uint32_t NumThreads) {
-    KernelLauncher L(Config, GM, Registry);
-    return L.launch(Image, Kernel, Args, NumTeams, NumThreads);
+                      std::uint32_t NumTeams, std::uint32_t NumThreads,
+                      std::string_view BackendOverride = {}) {
+    if (!BackendError.empty()) {
+      LaunchResult R;
+      R.Error = BackendError;
+      return R;
+    }
+    const std::string_view Name =
+        BackendOverride.empty() ? std::string_view(Config.ExecBackend)
+                                : BackendOverride;
+    return exec::launch(Name, {Config, GM, Registry}, Image, Kernel, Args,
+                        NumTeams, NumThreads);
   }
 
   /// Launch a kernel by name.
   LaunchResult launch(const ModuleImage &Image, std::string_view KernelName,
                       std::span<const std::uint64_t> Args,
-                      std::uint32_t NumTeams, std::uint32_t NumThreads) {
+                      std::uint32_t NumTeams, std::uint32_t NumThreads,
+                      std::string_view BackendOverride = {}) {
     const Function *K = Image.module().findFunction(KernelName);
     if (!K) {
       LaunchResult R;
       R.Error = "no such kernel: " + std::string(KernelName);
       return R;
     }
-    return launch(Image, K, Args, NumTeams, NumThreads);
+    return launch(Image, K, Args, NumTeams, NumThreads, BackendOverride);
   }
 
   /// Toggle debug executions (runtime invariant verification).
@@ -121,14 +152,35 @@ public:
   /// detector (the lint passes' runtime oracle).
   void setDetectRaces(bool On) { Config.DetectRaces = On; }
 
-  /// Select the execution engine (see DeviceConfig::Tier). Overrides any
-  /// CODESIGN_EXEC_TIER environment setting applied at construction.
-  void setExecTier(ExecTier Tier) { Config.Tier = Tier; }
+  /// Select the execution backend by name ("tree", "bytecode", "native" or
+  /// an accepted alias; see exec::canonicalBackendName). Overrides any
+  /// CODESIGN_EXEC_BACKEND environment setting applied at construction;
+  /// unknown names are rejected without changing the configuration.
+  Expected<void> setExecBackend(std::string_view Name) {
+    auto Canon = exec::canonicalBackendName(Name);
+    if (!Canon)
+      return Canon.error();
+    Config.ExecBackend = *Canon;
+    BackendError.clear();
+    return Expected<void>::success();
+  }
+
+  /// The configured execution backend's canonical name.
+  [[nodiscard]] const std::string &execBackend() const {
+    return Config.ExecBackend;
+  }
+
+  /// Non-empty when construction rejected an execution-backend environment
+  /// knob; every launch fails with this message until setExecBackend().
+  [[nodiscard]] const std::string &backendError() const {
+    return BackendError;
+  }
 
 private:
   DeviceConfig Config;
   GlobalMemory GM;
   NativeRegistry Registry;
+  std::string BackendError;
 };
 
 } // namespace codesign::vgpu

@@ -16,6 +16,8 @@
 
 #include <gtest/gtest.h>
 
+#include "frontend/Driver.hpp"
+
 namespace codesign::apps {
 namespace {
 
@@ -47,9 +49,11 @@ TEST(Apps, XSBenchAllBuildsVerifyAndOrder) {
   Cfg.Threads = 128;
   XSBench App(GPU, Cfg);
   auto R = runAll(App);
-  EXPECT_LT(cycles(R, "New RT"), cycles(R, "Old RT (Nightly)"));
-  EXPECT_LT(cycles(R, "New RT - w/o Assumptions"),
-            cycles(R, "Old RT (Nightly)"));
+  if (frontend::hasOldRT()) {
+    EXPECT_LT(cycles(R, "New RT"), cycles(R, "Old RT (Nightly)"));
+    EXPECT_LT(cycles(R, "New RT - w/o Assumptions"),
+              cycles(R, "Old RT (Nightly)"));
+  }
   // Memory-bound + by-reference config struct: close to CUDA but not equal
   // (Section VII).
   const double Gap = static_cast<double>(cycles(R, "New RT")) /
@@ -68,10 +72,12 @@ TEST(Apps, XSBenchStateEliminated) {
   AppRunResult Opt = App.run({"opt", frontend::CompileOptions::newRT()});
   ASSERT_TRUE(Opt.Ok) << Opt.Error;
   EXPECT_EQ(Opt.Stats.SharedMemBytes, 0u) << "Figure 11: SMem 0B";
-  AppRunResult Old = App.run({"old", frontend::CompileOptions::oldRT()});
-  EXPECT_GT(Old.Stats.SharedMemBytes, 2000u);
-  EXPECT_LT(Opt.Stats.Registers, Old.Stats.Registers + 20)
-      << "register estimate sanity";
+  if (frontend::hasOldRT()) {
+    AppRunResult Old = App.run({"old", frontend::CompileOptions::oldRT()});
+    EXPECT_GT(Old.Stats.SharedMemBytes, 2000u);
+    EXPECT_LT(Opt.Stats.Registers, Old.Stats.Registers + 20)
+        << "register estimate sanity";
+  }
 }
 
 TEST(Apps, RSBenchNightlyRegression) {
@@ -88,11 +94,13 @@ TEST(Apps, RSBenchNightlyRegression) {
   Cfg.Threads = 64;
   RSBench App(GPU, Cfg);
   auto R = runAll(App, /*IncludeAssumed=*/false);
-  EXPECT_GT(cycles(R, "New RT (Nightly)"), cycles(R, "Old RT (Nightly)"))
-      << "nightly regression (the smem-bloated nightly runtime caps "
-         "occupancy at fewer teams per SM)";
-  EXPECT_LE(cycles(R, "New RT - w/o Assumptions"),
-            cycles(R, "Old RT (Nightly)"));
+  if (frontend::hasOldRT()) {
+    EXPECT_GT(cycles(R, "New RT (Nightly)"), cycles(R, "Old RT (Nightly)"))
+        << "nightly regression (the smem-bloated nightly runtime caps "
+           "occupancy at fewer teams per SM)";
+    EXPECT_LE(cycles(R, "New RT - w/o Assumptions"),
+              cycles(R, "Old RT (Nightly)"));
+  }
   // Compute bound: every reasonable build is CUDA-like.
   const double Gap =
       static_cast<double>(cycles(R, "New RT - w/o Assumptions")) /
@@ -111,7 +119,8 @@ TEST(Apps, GridMiniMatchesCudaFlops) {
   const double OptFlops = R.at("New RT").AppMetric;
   const double CudaFlops = R.at("CUDA").AppMetric;
   EXPECT_GT(OptFlops / CudaFlops, 0.9) << "Figure 12: GFLOPs parity";
-  EXPECT_GT(OptFlops, R.at("Old RT (Nightly)").AppMetric);
+  if (frontend::hasOldRT())
+    EXPECT_GT(OptFlops, R.at("Old RT (Nightly)").AppMetric);
 }
 
 TEST(Apps, GridMiniMemoryBoundBlocksBarrierElimination) {
@@ -148,7 +157,8 @@ TEST(Apps, TestSNAPKeepsScratchSharedMemory) {
   EXPECT_LE(R.at("New RT").Stats.SharedMemBytes, App.scratchBytes() + 32);
   EXPECT_GT(R.at("New RT (Nightly)").Stats.SharedMemBytes,
             App.scratchBytes());
-  EXPECT_LT(cycles(R, "New RT"), cycles(R, "Old RT (Nightly)"));
+  if (frontend::hasOldRT())
+    EXPECT_LT(cycles(R, "New RT"), cycles(R, "Old RT (Nightly)"));
 }
 
 TEST(Apps, MiniFMMImprovesButKeepsGapToCuda) {
@@ -158,9 +168,10 @@ TEST(Apps, MiniFMMImprovesButKeepsGapToCuda) {
   MiniFMM App(GPU, Cfg);
   auto R = runAll(App);
   // Paper: 1.85x improvement over the old runtime...
-  EXPECT_GT(static_cast<double>(cycles(R, "Old RT (Nightly)")) /
-                static_cast<double>(cycles(R, "New RT - w/o Assumptions")),
-            1.2);
+  if (frontend::hasOldRT())
+    EXPECT_GT(static_cast<double>(cycles(R, "Old RT (Nightly)")) /
+                  static_cast<double>(cycles(R, "New RT - w/o Assumptions")),
+              1.2);
   // ...but still a real gap to CUDA (nested tasking / thread states).
   EXPECT_GT(static_cast<double>(cycles(R, "New RT - w/o Assumptions")) /
                 static_cast<double>(cycles(R, "CUDA")),

@@ -1,12 +1,17 @@
-//===- tests/apps/test_tier_differential.cpp - Bytecode vs. tree, end to end -===//
+//===- tests/apps/test_backend_parity.cpp - Three-way backend parity -------===//
 //
-// The bytecode tier's contract at application scale: every proxy app under
-// every paper build configuration reports bit-identical outputs, metrics,
-// and profiles whether the device executes the tree-walking interpreter or
-// the warp-batched bytecode. Structurally a sibling of test_determinism.cpp
-// (serial vs. parallel); here the independent variable is the execution
-// engine itself, so the whole compiler + runtime stack becomes a
-// differential oracle for the new tier.
+// The execution-backend contract at application scale: every proxy app
+// under every paper build configuration must produce bit-identical device
+// outputs whether the device executes the tree-walking interpreter, the
+// warp-batched bytecode, or the host-compiled native codegen backend.
+// Tree vs. bytecode additionally agree on every metric and the full
+// profile (both run the cycle cost model); the native backend reports no
+// cycle model, so for it the suite checks outputs plus the LaunchProfile
+// invariants that are backend-independent (collection flag, team count,
+// verification against the host reference). Structurally a sibling of
+// test_determinism.cpp (serial vs. parallel); here the independent
+// variable is the execution engine itself, so the whole compiler + runtime
+// stack becomes a differential oracle for the backend architecture.
 //
 //===----------------------------------------------------------------------===//
 #include "apps/GridMini.hpp"
@@ -20,10 +25,10 @@
 namespace codesign::apps {
 namespace {
 
-vgpu::DeviceConfig withTier(vgpu::ExecTier Tier) {
+vgpu::DeviceConfig withBackend(const char *Backend) {
   vgpu::DeviceConfig C;
   C.CollectProfile = true;
-  C.Tier = Tier;
+  C.ExecBackend = Backend;
   return C;
 }
 
@@ -53,6 +58,8 @@ void expectIdentical(const AppRunResult &T, const AppRunResult &C,
   ASSERT_TRUE(C.Ok) << Build << " (bytecode): " << C.Error;
   EXPECT_TRUE(T.Verified) << Build;
   EXPECT_TRUE(C.Verified) << Build;
+  EXPECT_EQ(T.OutputHash, C.OutputHash)
+      << Build << ": outputs must be bit-identical across backends";
   EXPECT_EQ(T.AppMetric, C.AppMetric)
       << Build << ": app metric must be bit-identical across tiers";
   const vgpu::LaunchMetrics &A = T.Metrics, &B = C.Metrics;
@@ -73,25 +80,49 @@ void expectIdentical(const AppRunResult &T, const AppRunResult &C,
   expectIdenticalProfiles(T.Profile, C.Profile, Build);
 }
 
-/// Run AppT under every paper build config on a tree-tier and a
-/// bytecode-tier device and require bit-identical outcomes.
+/// The native backend has no cycle model, so it is held to the
+/// backend-independent invariants: it succeeds, the host reference check
+/// passes, every output byte matches the tree oracle, and the structural
+/// profile facts (team count, occupancy) agree.
+void expectNativeParity(const AppRunResult &T, const AppRunResult &N,
+                        const std::string &Build) {
+  ASSERT_TRUE(N.Ok) << Build << " (native): " << N.Error;
+  EXPECT_TRUE(N.Verified) << Build << " (native)";
+  EXPECT_EQ(T.OutputHash, N.OutputHash)
+      << Build << ": native outputs must be bit-identical to the oracle";
+  EXPECT_EQ(N.Backend, "native") << Build;
+  EXPECT_EQ(T.Metrics.TeamsPerSM, N.Metrics.TeamsPerSM) << Build;
+  EXPECT_EQ(T.Metrics.Barriers, N.Metrics.Barriers) << Build;
+  EXPECT_EQ(T.Metrics.DeviceMallocs, N.Metrics.DeviceMallocs) << Build;
+  ASSERT_TRUE(N.Profile.Collected) << Build;
+  EXPECT_EQ(T.Profile.Teams, N.Profile.Teams) << Build;
+}
+
+/// Run AppT under every paper build config on a tree-, a bytecode-, and a
+/// native-backend device and require bit-identical outputs (and, between
+/// the two interpreters, bit-identical metrics and profiles).
 template <typename AppT, typename ConfigT>
 void checkApp(const ConfigT &Cfg, bool IncludeAssumed = true) {
-  vgpu::VirtualGPU TreeGPU(withTier(vgpu::ExecTier::Tree));
-  vgpu::VirtualGPU BCGPU(withTier(vgpu::ExecTier::Bytecode));
-  // Pin past any ambient CODESIGN_EXEC_TIER override.
-  TreeGPU.setExecTier(vgpu::ExecTier::Tree);
-  BCGPU.setExecTier(vgpu::ExecTier::Bytecode);
+  vgpu::VirtualGPU TreeGPU(withBackend("tree"));
+  vgpu::VirtualGPU BCGPU(withBackend("bytecode"));
+  vgpu::VirtualGPU NativeGPU(withBackend("native"));
+  // Pin past any ambient CODESIGN_EXEC_BACKEND override.
+  ASSERT_TRUE(TreeGPU.setExecBackend("tree").hasValue());
+  ASSERT_TRUE(BCGPU.setExecBackend("bytecode").hasValue());
+  ASSERT_TRUE(NativeGPU.setExecBackend("native").hasValue());
   AppT TreeApp(TreeGPU, Cfg);
   AppT BCApp(BCGPU, Cfg);
+  AppT NativeApp(NativeGPU, Cfg);
   for (const BuildConfig &B : paperBuildConfigs(IncludeAssumed)) {
     AppRunResult T = TreeApp.run(B);
     AppRunResult C = BCApp.run(B);
+    AppRunResult N = NativeApp.run(B);
     expectIdentical(T, C, B.Name);
+    expectNativeParity(T, N, B.Name);
   }
 }
 
-TEST(TierDifferential, XSBenchAllBuilds) {
+TEST(BackendParity, XSBenchAllBuilds) {
   XSBenchConfig Cfg;
   Cfg.NLookups = 1024;
   Cfg.Teams = 8;
@@ -99,7 +130,7 @@ TEST(TierDifferential, XSBenchAllBuilds) {
   checkApp<XSBench>(Cfg);
 }
 
-TEST(TierDifferential, RSBenchAllBuilds) {
+TEST(BackendParity, RSBenchAllBuilds) {
   RSBenchConfig Cfg;
   Cfg.NLookups = 4096;
   Cfg.Teams = 16;
@@ -107,7 +138,7 @@ TEST(TierDifferential, RSBenchAllBuilds) {
   checkApp<RSBench>(Cfg, /*IncludeAssumed=*/false);
 }
 
-TEST(TierDifferential, GridMiniAllBuilds) {
+TEST(BackendParity, GridMiniAllBuilds) {
   GridMiniConfig Cfg;
   Cfg.Volume = 512;
   Cfg.Teams = 8;
@@ -115,14 +146,14 @@ TEST(TierDifferential, GridMiniAllBuilds) {
   checkApp<GridMini>(Cfg);
 }
 
-TEST(TierDifferential, TestSNAPAllBuilds) {
+TEST(BackendParity, TestSNAPAllBuilds) {
   TestSNAPConfig Cfg;
   Cfg.NAtoms = 32;
   Cfg.Teams = 16;
   checkApp<TestSNAP>(Cfg);
 }
 
-TEST(TierDifferential, MiniFMMAllBuilds) {
+TEST(BackendParity, MiniFMMAllBuilds) {
   MiniFMMConfig Cfg;
   Cfg.Teams = 8;
   checkApp<MiniFMM>(Cfg);

@@ -128,6 +128,8 @@ TEST_F(EndToEnd, NewRuntimeGenericPath) {
 }
 
 TEST_F(EndToEnd, OldRuntimePath) {
+  if (!hasOldRT())
+    GTEST_SKIP() << "built without -DCODESIGN_BUILD_OLDRT=ON";
   CodegenOptions Opts;
   Opts.RT = RuntimeKind::OldRT;
   runSaxpy(Opts, 1024, 8, 64);
@@ -140,6 +142,8 @@ TEST_F(EndToEnd, AwkwardShapes) {
         {16, 64, 999}}) {
     for (RuntimeKind RT :
          {RuntimeKind::Native, RuntimeKind::NewRT, RuntimeKind::OldRT}) {
+      if (RT == RuntimeKind::OldRT && !hasOldRT())
+        continue;
       CodegenOptions Opts;
       Opts.RT = RT;
       runSaxpy(Opts, N, Teams, Threads);
@@ -150,15 +154,18 @@ TEST_F(EndToEnd, AwkwardShapes) {
 TEST_F(EndToEnd, UnoptimizedCostOrdering) {
   // Before any optimization the expected ordering holds: the legacy
   // runtime is slowest, the new runtime cheaper, native cheapest.
-  CodegenOptions Native, NewRT, OldRT;
+  CodegenOptions Native, NewRT;
   Native.RT = RuntimeKind::Native;
   NewRT.RT = RuntimeKind::NewRT;
-  OldRT.RT = RuntimeKind::OldRT;
   const auto RNative = runSaxpy(Native, 4096, 8, 64);
   const auto RNew = runSaxpy(NewRT, 4096, 8, 64);
-  const auto ROld = runSaxpy(OldRT, 4096, 8, 64);
   EXPECT_LT(RNative.Metrics.KernelCycles, RNew.Metrics.KernelCycles);
-  EXPECT_LT(RNew.Metrics.KernelCycles, ROld.Metrics.KernelCycles);
+  if (hasOldRT()) {
+    CodegenOptions OldRT;
+    OldRT.RT = RuntimeKind::OldRT;
+    const auto ROld = runSaxpy(OldRT, 4096, 8, 64);
+    EXPECT_LT(RNew.Metrics.KernelCycles, ROld.Metrics.KernelCycles);
+  }
 }
 
 TEST_F(EndToEnd, DebugTracingCountsRuntimeEntries) {

@@ -34,10 +34,11 @@ struct TierRun {
   std::vector<std::uint8_t> Out;
 };
 
-/// Build a fresh module with Build, load it on a device pinned to Tier,
-/// and launch Kernel with an output buffer of BufBytes as argument 0
-/// followed by ExtraArgs.
-TierRun runTier(ExecTier Tier, const std::function<void(Module &)> &Build,
+/// Build a fresh module with Build, load it on a device pinned to the
+/// named execution backend, and launch Kernel with an output buffer of
+/// BufBytes as argument 0 followed by ExtraArgs.
+TierRun runTier(std::string_view Backend,
+                const std::function<void(Module &)> &Build,
                 const std::string &Kernel, std::uint64_t BufBytes,
                 std::vector<std::uint64_t> ExtraArgs, std::uint32_t Teams,
                 std::uint32_t Threads, bool DetectRaces = false) {
@@ -46,7 +47,9 @@ TierRun runTier(ExecTier Tier, const std::function<void(Module &)> &Build,
   DeviceConfig C;
   C.CollectProfile = true;
   VirtualGPU GPU(C);
-  GPU.setExecTier(Tier); // pin: overrides any CODESIGN_EXEC_TIER ambient
+  // Pin: overrides any CODESIGN_EXEC_BACKEND ambient.
+  auto Pinned = GPU.setExecBackend(Backend);
+  CODESIGN_ASSERT(Pinned.hasValue(), "bad backend name in test");
   GPU.setDetectRaces(DetectRaces);
   auto Image = GPU.loadImage(M);
   const std::uint64_t Size = std::max<std::uint64_t>(BufBytes, 8);
@@ -112,10 +115,10 @@ TierRun runBothTiers(const std::function<void(Module &)> &Build,
                      std::vector<std::uint64_t> ExtraArgs = {},
                      std::uint32_t Teams = 1, std::uint32_t Threads = 1,
                      bool DetectRaces = false) {
-  TierRun Tree = runTier(ExecTier::Tree, Build, Kernel, BufBytes, ExtraArgs,
-                         Teams, Threads, DetectRaces);
-  TierRun BC = runTier(ExecTier::Bytecode, Build, Kernel, BufBytes,
-                       ExtraArgs, Teams, Threads, DetectRaces);
+  TierRun Tree = runTier("tree", Build, Kernel, BufBytes, ExtraArgs, Teams,
+                         Threads, DetectRaces);
+  TierRun BC = runTier("bytecode", Build, Kernel, BufBytes, ExtraArgs, Teams,
+                       Threads, DetectRaces);
   expectTierIdentical(Tree, BC);
   return BC;
 }
